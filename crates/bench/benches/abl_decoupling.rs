@@ -1,0 +1,12 @@
+//! Ablation: decoupled (MC-side) vs monolithic (L1) property prefetching,
+//! plus the Section VII-B adaptive extension.
+
+use droplet::experiments::{ablation_decoupling, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Ablation — decoupling & adaptivity", &ctx);
+    let result = timed("abl_decoupling", || ablation_decoupling(&ctx));
+    println!("{}", result.render());
+}

@@ -1,0 +1,11 @@
+//! Ablation: MPP VAB/PAB/MTLB sizing (Table V picks 512/512/128).
+
+use droplet::experiments::{ablation_mpp_sizing, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Ablation — MPP buffer sizing", &ctx);
+    let result = timed("abl_mpp_sizing", || ablation_mpp_sizing(&ctx));
+    println!("{}", result.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Fig. 1: the cycle stack of PageRank on orkut.
+
+use droplet::experiments::{fig01_cycle_stack, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Fig. 1 — cycle stack of PR-orkut", &ctx);
+    let result = timed("fig01", || fig01_cycle_stack(&ctx));
+    println!("{}", result.render());
+}

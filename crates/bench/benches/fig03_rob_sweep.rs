@@ -1,0 +1,12 @@
+//! Regenerates paper Fig. 3: bandwidth utilization and speedup from a 4x
+//! larger instruction window, across the 5x5 workload matrix.
+
+use droplet::experiments::{fig03_rob_sweep, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Fig. 3 — 4x instruction window sweep", &ctx);
+    let result = timed("fig03", || fig03_rob_sweep(&ctx));
+    println!("{}", result.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 4: (a) LLC capacity sensitivity, (b) private-L2
+//! sensitivity, (c) off-chip accesses by data type vs LLC capacity.
+
+use droplet::experiments::{fig04a_llc_sweep, fig04b_l2_sweep, fig04c_offchip_by_type, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Fig. 4 — cache-hierarchy sensitivity sweeps", &ctx);
+    let a = timed("fig04a", || fig04a_llc_sweep(&ctx));
+    println!("{}", a.render());
+    println!("{}", fig04c_offchip_by_type(&a));
+    let b = timed("fig04b", || fig04b_l2_sweep(&ctx));
+    println!("{}", b.render());
+}

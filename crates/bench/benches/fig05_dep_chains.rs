@@ -1,0 +1,12 @@
+//! Regenerates paper Figs. 5 & 6: load-load dependency chains and the
+//! producer/consumer breakdown by data type.
+
+use droplet::experiments::{fig05_06_chains, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Figs. 5 & 6 — dependency-chain analysis", &ctx);
+    let result = timed("fig05_06", || fig05_06_chains(&ctx));
+    println!("{}", result.render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Fig. 7: memory-hierarchy usage by application data
+//! type across the 5x5 workload matrix.
+
+use droplet::experiments::{fig07_hierarchy_usage, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Fig. 7 — hierarchy usage by data type", &ctx);
+    let result = timed("fig07", || fig07_hierarchy_usage(&ctx));
+    println!("{}", result.render());
+}

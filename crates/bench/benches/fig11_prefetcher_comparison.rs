@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 11: speedups of all six prefetcher
+//! configurations over the no-prefetch baseline (per workload and the
+//! per-algorithm geomean summary).
+
+use droplet::experiments::prefetch_study::run_study;
+use droplet::experiments::ExperimentCtx;
+use droplet::PrefetcherKind;
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Fig. 11 — prefetcher comparison (6 configurations)", &ctx);
+    let study = timed("fig11", || run_study(&ctx, &PrefetcherKind::EVALUATED));
+    println!("{}", study.render_fig11());
+}

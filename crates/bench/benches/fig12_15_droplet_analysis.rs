@@ -1,0 +1,23 @@
+//! Regenerates paper Figs. 12-15: L2 hit rate, off-chip demand MPKI by
+//! data type, prefetch accuracy, and bandwidth overhead for the
+//! baseline / stream / streamMPP1 / DROPLET progression of Section VII-C.
+
+use droplet::experiments::prefetch_study::run_study;
+use droplet::experiments::ExperimentCtx;
+use droplet::PrefetcherKind;
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Figs. 12-15 — explaining DROPLET's performance", &ctx);
+    let kinds = [
+        PrefetcherKind::Stream,
+        PrefetcherKind::StreamMpp1,
+        PrefetcherKind::Droplet,
+    ];
+    let study = timed("fig12-15", || run_study(&ctx, &kinds));
+    println!("{}", study.render_fig12());
+    println!("{}", study.render_fig13());
+    println!("{}", study.render_fig14());
+    println!("{}", study.render_fig15());
+}

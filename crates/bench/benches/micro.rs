@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the simulation substrate: cache access
+//! throughput, PAG cacheline scanning, reuse-distance profiling, trace
+//! generation, and a whole-system op-replay rate. These gate the wall-clock
+//! budget of the figure benches.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use droplet::{run_workload, PrefetcherKind, SystemConfig};
+use droplet::cache::{CacheConfig, FillInfo, ReuseProfiler, SetAssocCache};
+use droplet::gap::Algorithm;
+use droplet::graph::{Dataset, DatasetScale};
+use droplet::trace::{DataType, FunctionalMemory};
+use std::sync::Arc;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let accesses: Vec<u64> = (0..4096u64).map(|i| (i * 2654435761) % 16384).collect();
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    group.bench_function("l2_touch_fill", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::l2());
+        b.iter(|| {
+            for (i, &line) in accesses.iter().enumerate() {
+                if cache.touch(line, i as u64, DataType::Property, false).is_none() {
+                    cache.fill(line, FillInfo::demand(DataType::Property, i as u64));
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_reuse_profiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse");
+    let stream: Vec<u64> = (0..2048u64).map(|i| (i * 48271) % 1024).collect();
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("olken_access", |b| {
+        b.iter(|| {
+            let mut p = ReuseProfiler::new();
+            for &l in &stream {
+                p.access(l, DataType::Structure);
+            }
+            p.distinct_lines()
+        });
+    });
+    group.finish();
+}
+
+fn bench_pag_scan(c: &mut Criterion) {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Pr.trace(&g, 10_000);
+    let base_line = bundle.funcmem.neighbors().base();
+    let mut group = c.benchmark_group("mpp");
+    group.bench_function("pag_line_scan", |b| {
+        b.iter(|| bundle.funcmem.neighbor_ids_in_line(base_line).len());
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let mut group = c.benchmark_group("trace");
+    group.bench_function("pr_trace_100k_ops", |b| {
+        b.iter(|| Algorithm::Pr.trace(&g, 100_000).len());
+    });
+    group.finish();
+}
+
+fn bench_system_replay(c: &mut Criterion) {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Pr.trace(&g, 100_000);
+    let mut group = c.benchmark_group("system");
+    group.throughput(Throughput::Elements(bundle.ops.len() as u64));
+    group.sample_size(10);
+    group.bench_function("baseline_replay", |b| {
+        let cfg = SystemConfig::test_scale();
+        b.iter(|| run_workload(&bundle, &cfg, 0).core.cycles);
+    });
+    group.bench_function("droplet_replay", |b| {
+        let cfg = SystemConfig::test_scale().with_prefetcher(PrefetcherKind::Droplet);
+        b.iter(|| run_workload(&bundle, &cfg, 0).core.cycles);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_reuse_profiler,
+    bench_pag_scan,
+    bench_trace_generation,
+    bench_system_replay
+);
+criterion_main!(benches);

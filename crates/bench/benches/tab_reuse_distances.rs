@@ -1,0 +1,12 @@
+//! Regenerates the reuse-distance analysis behind Observation #6 and
+//! Table IV: Olken stack distances of the L1-miss stream, by data type.
+
+use droplet::experiments::{tab_reuse_distances, ExperimentCtx};
+use droplet_bench::{banner, ctx_from_env, timed};
+
+fn main() {
+    let ctx: ExperimentCtx = ctx_from_env();
+    banner("Observation #6 — reuse distances by data type", &ctx);
+    let table = timed("reuse", || tab_reuse_distances(&ctx));
+    println!("{}", table.render());
+}

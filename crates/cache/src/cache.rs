@@ -1,0 +1,379 @@
+//! A set-associative, true-LRU, write-back cache with prefetch bookkeeping.
+//!
+//! Lines are identified by their (physical) line index. Fills may carry a
+//! future `ready_at` cycle: the tag is allocated immediately (MSHR-style)
+//! but a demand hit before `ready_at` is a *late prefetch hit* and exposes
+//! the residual latency — this is how DROPLET's timeliness advantage over a
+//! monolithic L1 prefetcher (Section VII-B) becomes measurable.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+use droplet_trace::{Cycle, DataType};
+
+/// Resident line metadata.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    line: u64,
+    dirty: bool,
+    /// Filled by a prefetcher (vs the demand path).
+    prefetched: bool,
+    /// Has seen at least one demand access since fill.
+    used: bool,
+    /// Cycle at which the data is actually present.
+    ready_at: Cycle,
+    dtype: DataType,
+}
+
+/// Result of a demand hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// Cycle at which the data can be forwarded (≥ `now` for in-flight lines).
+    pub ready_at: Cycle,
+    /// This hit was the first demand use of a prefetched line.
+    pub first_prefetch_use: bool,
+}
+
+/// A line pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line index.
+    pub line: u64,
+    /// Needs a write-back.
+    pub dirty: bool,
+    /// Was brought in by a prefetcher.
+    pub prefetched: bool,
+    /// Saw at least one demand use.
+    pub used: bool,
+    /// Data type recorded at fill time.
+    pub dtype: DataType,
+}
+
+/// Parameters of a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillInfo {
+    /// Data type of the filled line.
+    pub dtype: DataType,
+    /// `true` when a prefetcher (not the demand path) performed the fill.
+    pub prefetched: bool,
+    /// When the data arrives (tag allocated immediately).
+    pub ready_at: Cycle,
+    /// Fill the line already dirty (demand store allocation).
+    pub dirty: bool,
+}
+
+impl FillInfo {
+    /// A demand fill whose data is ready at `ready_at`.
+    pub fn demand(dtype: DataType, ready_at: Cycle) -> Self {
+        FillInfo {
+            dtype,
+            prefetched: false,
+            ready_at,
+            dirty: false,
+        }
+    }
+
+    /// A prefetch fill whose data arrives at `ready_at`.
+    pub fn prefetch(dtype: DataType, ready_at: Cycle) -> Self {
+        FillInfo {
+            dtype,
+            prefetched: true,
+            ready_at,
+            dirty: false,
+        }
+    }
+
+    /// Marks the fill dirty (store allocation).
+    #[must_use]
+    pub fn dirty(mut self) -> Self {
+        self.dirty = true;
+        self
+    }
+}
+
+/// A set-associative LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use droplet_cache::{CacheConfig, FillInfo, SetAssocCache};
+/// use droplet_trace::DataType;
+/// let mut c = SetAssocCache::new(CacheConfig::l1d());
+/// c.fill(7, FillInfo::prefetch(DataType::Property, 100));
+/// // A demand access at cycle 50 hits, but the data is not there yet.
+/// let hit = c.touch(7, 50, DataType::Property, false).unwrap();
+/// assert_eq!(hit.ready_at, 100);
+/// assert!(hit.first_prefetch_use);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    set_mask: u64,
+    /// Each set keeps LRU order: index 0 = LRU, last = MRU.
+    sets: Vec<Vec<LineState>>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        SetAssocCache {
+            set_mask: num_sets as u64 - 1,
+            sets: vec![Vec::with_capacity(cfg.assoc); num_sets],
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (not contents) — used at the end of cache warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Checks residency without touching LRU state or statistics (the
+    /// coherence-engine probe the MPP uses to avoid redundant DRAM
+    /// prefetches, Section V-A).
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].iter().any(|l| l.line == line)
+    }
+
+    /// A demand access to `line` at cycle `now`. Returns hit info, or
+    /// `None` on a miss. Updates LRU, usefulness bits, and statistics.
+    pub fn touch(&mut self, line: u64, now: Cycle, dtype: DataType, is_store: bool) -> Option<HitInfo> {
+        self.stats.demand_accesses.bump(dtype);
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.line == line)?;
+        let mut entry = set.remove(pos);
+        let first_prefetch_use = entry.prefetched && !entry.used;
+        entry.used = true;
+        entry.dirty |= is_store;
+        let ready_at = entry.ready_at.max(now);
+        set.push(entry);
+        self.stats.demand_hits.bump(dtype);
+        if first_prefetch_use {
+            self.stats.prefetch_first_uses.bump(dtype);
+        }
+        if ready_at > now {
+            self.stats.late_prefetch_hits.bump(dtype);
+        }
+        Some(HitInfo {
+            ready_at,
+            first_prefetch_use,
+        })
+    }
+
+    /// Fills `line`, evicting the LRU line of its set if full. If the line
+    /// is already resident the existing entry is refreshed instead (its
+    /// `ready_at` keeps the earlier of the two arrival times).
+    pub fn fill(&mut self, line: u64, info: FillInfo) -> Option<EvictedLine> {
+        if info.prefetched {
+            self.stats.prefetch_fills.bump(info.dtype);
+        } else {
+            self.stats.demand_fills.bump(info.dtype);
+        }
+        let assoc = self.cfg.assoc;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let mut entry = set.remove(pos);
+            entry.ready_at = entry.ready_at.min(info.ready_at);
+            entry.dirty |= info.dirty;
+            // A demand fill of a previously prefetched line counts as a use.
+            if !info.prefetched && entry.prefetched && !entry.used {
+                entry.used = true;
+                self.stats.prefetch_first_uses.bump(entry.dtype);
+            }
+            set.push(entry);
+            return None;
+        }
+        let evicted = if set.len() == assoc {
+            let victim = set.remove(0);
+            if victim.prefetched && !victim.used {
+                self.stats.prefetch_unused_evictions.bump(victim.dtype);
+            }
+            Some(EvictedLine {
+                line: victim.line,
+                dirty: victim.dirty,
+                prefetched: victim.prefetched,
+                used: victim.used,
+                dtype: victim.dtype,
+            })
+        } else {
+            None
+        };
+        set.push(LineState {
+            line,
+            dirty: info.dirty,
+            prefetched: info.prefetched,
+            used: false,
+            ready_at: info.ready_at,
+            dtype: info.dtype,
+        });
+        evicted
+    }
+
+    /// Removes `line` (inclusion back-invalidation), returning its state.
+    pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.line == line)?;
+        let victim = set.remove(pos);
+        self.stats.inclusion_invalidations += 1;
+        if victim.prefetched && !victim.used {
+            self.stats.prefetch_unused_evictions.bump(victim.dtype);
+        }
+        Some(EvictedLine {
+            line: victim.line,
+            dirty: victim.dirty,
+            prefetched: victim.prefetched,
+            used: victim.used,
+            dtype: victim.dtype,
+        })
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets × 2 ways of 64 B lines = 512 B.
+        SetAssocCache::new(CacheConfig {
+            name: "tiny",
+            size_bytes: 512,
+            assoc: 2,
+            tag_latency: 1,
+            data_latency: 2,
+        })
+    }
+
+    const P: DataType = DataType::Property;
+    const S: DataType = DataType::Structure;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(c.touch(0, 0, P, false).is_none());
+        assert!(c.fill(0, FillInfo::demand(P, 5)).is_none());
+        let hit = c.touch(0, 10, P, false).unwrap();
+        assert_eq!(hit.ready_at, 10);
+        assert!(!hit.first_prefetch_use);
+        assert_eq!(c.stats().demand_hits.get(P), 1);
+        assert_eq!(c.stats().demand_accesses.get(P), 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, FillInfo::demand(P, 0));
+        c.fill(4, FillInfo::demand(P, 0));
+        c.touch(0, 1, P, false); // refresh 0; 4 becomes LRU
+        let ev = c.fill(8, FillInfo::demand(P, 0)).unwrap();
+        assert_eq!(ev.line, 4);
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn late_prefetch_exposes_residual_latency() {
+        let mut c = tiny();
+        c.fill(3, FillInfo::prefetch(S, 100));
+        let hit = c.touch(3, 40, S, false).unwrap();
+        assert_eq!(hit.ready_at, 100);
+        assert!(hit.first_prefetch_use);
+        assert_eq!(c.stats().late_prefetch_hits.get(S), 1);
+        assert_eq!(c.stats().prefetch_first_uses.get(S), 1);
+        // A second touch is no longer a first use.
+        let hit2 = c.touch(3, 200, S, false).unwrap();
+        assert!(!hit2.first_prefetch_use);
+        assert_eq!(hit2.ready_at, 200);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_counts_as_inaccurate() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::prefetch(S, 0));
+        c.fill(4, FillInfo::demand(P, 0));
+        c.fill(8, FillInfo::demand(P, 0)); // evicts prefetched line 0
+        assert_eq!(c.stats().prefetch_unused_evictions.get(S), 1);
+        assert_eq!(c.stats().prefetch_accuracy(S), 0.0);
+    }
+
+    #[test]
+    fn refill_of_resident_line_keeps_earliest_ready() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::prefetch(P, 100));
+        assert!(c.fill(0, FillInfo::demand(P, 50)).is_none());
+        let hit = c.touch(0, 60, P, false).unwrap();
+        assert_eq!(hit.ready_at, 60);
+        // Demand fill of a prefetched, unused line counted as a use.
+        assert_eq!(c.stats().prefetch_first_uses.get(P), 1);
+    }
+
+    #[test]
+    fn store_sets_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::demand(P, 0));
+        c.touch(0, 1, P, true);
+        c.fill(4, FillInfo::demand(P, 0));
+        let ev = c.fill(8, FillInfo::demand(P, 0)).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::prefetch(S, 0));
+        let ev = c.invalidate(0).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(!c.contains(0));
+        assert_eq!(c.stats().inclusion_invalidations, 1);
+        assert_eq!(c.stats().prefetch_unused_evictions.get(S), 1);
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn contains_is_side_effect_free() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::demand(P, 0));
+        let before = *c.stats();
+        assert!(c.contains(0));
+        assert!(!c.contains(9));
+        assert_eq!(c.stats().demand_accesses.total(), before.demand_accesses.total());
+    }
+
+    #[test]
+    fn occupancy_tracks_fills() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        for l in 0..8 {
+            c.fill(l, FillInfo::demand(P, 0));
+        }
+        assert_eq!(c.occupancy(), 8); // full: 4 sets × 2 ways
+        c.fill(8, FillInfo::demand(P, 0));
+        assert_eq!(c.occupancy(), 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Cache models for the DROPLET reproduction: set-associative LRU caches
+//! with prefetch-usefulness tracking and in-flight fill timing (so prefetch
+//! *timeliness* is modeled, not just coverage), per-data-type statistics,
+//! and the reuse-distance profiler behind the paper's Observation #6.
+//!
+//! # Example
+//!
+//! ```
+//! use droplet_cache::{CacheConfig, FillInfo, SetAssocCache};
+//! use droplet_trace::DataType;
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::l1d());
+//! let line = 0x1000 / 64;
+//! assert!(l1.touch(line, 0, DataType::Structure, false).is_none()); // cold miss
+//! l1.fill(line, FillInfo::demand(DataType::Structure, 0));
+//! assert!(l1.touch(line, 10, DataType::Structure, false).is_some()); // hit
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod reuse;
+pub mod stats;
+
+pub use cache::{EvictedLine, FillInfo, HitInfo, SetAssocCache};
+pub use config::CacheConfig;
+pub use reuse::{ReuseHistogram, ReuseProfiler};
+pub use stats::{CacheStats, TypedCounter};

@@ -1,0 +1,200 @@
+//! Per-data-type cache statistics.
+//!
+//! Every counter is split three ways by [`DataType`] because the paper's
+//! whole methodology is *data-aware* profiling: L2 hit rates (Fig. 4b/12),
+//! off-chip demand MPKI by type (Fig. 13), and service-level breakdowns
+//! (Fig. 7) all need typed counts.
+
+use droplet_trace::DataType;
+
+/// A counter split by graph data type.
+///
+/// # Example
+///
+/// ```
+/// use droplet_cache::TypedCounter;
+/// use droplet_trace::DataType;
+/// let mut c = TypedCounter::default();
+/// c.add(DataType::Property, 3);
+/// assert_eq!(c.get(DataType::Property), 3);
+/// assert_eq!(c.total(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypedCounter([u64; 3]);
+
+impl TypedCounter {
+    /// Increments the counter for `dtype` by `n`.
+    pub fn add(&mut self, dtype: DataType, n: u64) {
+        self.0[dtype.index()] += n;
+    }
+
+    /// Increments the counter for `dtype` by one.
+    pub fn bump(&mut self, dtype: DataType) {
+        self.add(dtype, 1);
+    }
+
+    /// Reads the counter for `dtype`.
+    pub fn get(&self, dtype: DataType) -> u64 {
+        self.0[dtype.index()]
+    }
+
+    /// Sum over all data types.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The fraction `self[dtype] / self.total()`, or 0 when empty.
+    pub fn fraction(&self, dtype: DataType) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(dtype) as f64 / t as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for TypedCounter {
+    fn add_assign(&mut self, rhs: TypedCounter) {
+        for i in 0..3 {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+/// Statistics for one cache level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores) reaching this level.
+    pub demand_accesses: TypedCounter,
+    /// Demand accesses that hit.
+    pub demand_hits: TypedCounter,
+    /// Demand hits whose line was still in flight (late prefetch: partial
+    /// latency was exposed).
+    pub late_prefetch_hits: TypedCounter,
+    /// Demand hits that were the *first* use of a prefetched line — these
+    /// are the "useful prefetch" events behind Fig. 14's accuracy metric.
+    pub prefetch_first_uses: TypedCounter,
+    /// Lines filled by prefetchers into this level.
+    pub prefetch_fills: TypedCounter,
+    /// Prefetched lines evicted without ever being demanded (inaccurate
+    /// prefetches).
+    pub prefetch_unused_evictions: TypedCounter,
+    /// Fills performed on the demand path.
+    pub demand_fills: TypedCounter,
+    /// Lines invalidated from above to preserve inclusion.
+    pub inclusion_invalidations: u64,
+}
+
+impl CacheStats {
+    /// Demand misses (accesses − hits).
+    pub fn demand_misses(&self) -> TypedCounter {
+        let mut out = TypedCounter::default();
+        for t in DataType::ALL {
+            out.add(t, self.demand_accesses.get(t) - self.demand_hits.get(t));
+        }
+        out
+    }
+
+    /// Demand hit rate over all types, or 0 if never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let a = self.demand_accesses.total();
+        if a == 0 {
+            0.0
+        } else {
+            self.demand_hits.total() as f64 / a as f64
+        }
+    }
+
+    /// Demand hit rate for one data type.
+    pub fn hit_rate_of(&self, dtype: DataType) -> f64 {
+        let a = self.demand_accesses.get(dtype);
+        if a == 0 {
+            0.0
+        } else {
+            self.demand_hits.get(dtype) as f64 / a as f64
+        }
+    }
+
+    /// Misses per `kilo` instructions given an instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.demand_misses().total() as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Prefetch accuracy at this level for `dtype`: the fraction of
+    /// prefetch-filled lines that saw at least one demand use.
+    ///
+    /// Computed as `first_uses / (first_uses + unused_evictions)` so that
+    /// lines still resident (neither used nor evicted) do not distort the
+    /// ratio at the end of a run.
+    pub fn prefetch_accuracy(&self, dtype: DataType) -> f64 {
+        let used = self.prefetch_first_uses.get(dtype);
+        let bad = self.prefetch_unused_evictions.get(dtype);
+        if used + bad == 0 {
+            0.0
+        } else {
+            used as f64 / (used + bad) as f64
+        }
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_counter_fraction() {
+        let mut c = TypedCounter::default();
+        c.add(DataType::Structure, 1);
+        c.add(DataType::Property, 3);
+        assert!((c.fraction(DataType::Property) - 0.75).abs() < 1e-12);
+        assert_eq!(c.total(), 4);
+        let mut d = c;
+        d += c;
+        assert_eq!(d.total(), 8);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(TypedCounter::default().fraction(DataType::Structure), 0.0);
+    }
+
+    #[test]
+    fn miss_and_hit_rate_math() {
+        let mut s = CacheStats::default();
+        s.demand_accesses.add(DataType::Property, 10);
+        s.demand_hits.add(DataType::Property, 4);
+        assert_eq!(s.demand_misses().get(DataType::Property), 6);
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((s.hit_rate_of(DataType::Property) - 0.4).abs() < 1e-12);
+        assert_eq!(s.hit_rate_of(DataType::Structure), 0.0);
+        assert!((s.mpki(1000) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_ignores_resident_lines() {
+        let mut s = CacheStats::default();
+        s.prefetch_fills.add(DataType::Structure, 10);
+        s.prefetch_first_uses.add(DataType::Structure, 6);
+        s.prefetch_unused_evictions.add(DataType::Structure, 2);
+        assert!((s.prefetch_accuracy(DataType::Structure) - 0.75).abs() < 1e-12);
+        assert_eq!(s.prefetch_accuracy(DataType::Property), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = CacheStats::default();
+        s.demand_accesses.bump(DataType::Structure);
+        s.reset();
+        assert_eq!(s.demand_accesses.total(), 0);
+    }
+}

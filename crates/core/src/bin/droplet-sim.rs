@@ -1,0 +1,228 @@
+//! `droplet-sim` — command-line driver for the DROPLET simulator.
+//!
+//! ```text
+//! droplet-sim run   --algo pr --dataset kron --prefetcher droplet [--scale small]
+//! droplet-sim sweep --algo cc --dataset orkut [--scale small]
+//! droplet-sim info
+//! ```
+//!
+//! `run` simulates one workload under one configuration and prints the full
+//! report; `sweep` compares every evaluated prefetcher on one workload;
+//! `info` lists algorithms, datasets and configurations.
+
+use droplet::experiments::ExperimentCtx;
+use droplet::report::Table;
+use droplet::{run_workload, PrefetcherKind, RunResult, WorkloadSpec};
+use droplet_gap::Algorithm;
+use droplet_graph::{Dataset, DatasetScale, DegreeStats};
+use droplet_trace::DataType;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  droplet-sim run   --algo <bc|bfs|pr|sssp|cc> --dataset <kron|urand|orkut|livejournal|road>\n\
+         \x20                   [--prefetcher <none|ghb|vldp|stream|streammpp1|droplet|mono|adaptive>]\n\
+         \x20                   [--scale <tiny|small|sim>] [--budget <ops>]\n\
+         \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>]\n\
+         \x20 droplet-sim info"
+    );
+    std::process::exit(2);
+}
+
+fn parse_algo(s: &str) -> Algorithm {
+    match s.to_ascii_lowercase().as_str() {
+        "bc" => Algorithm::Bc,
+        "bfs" => Algorithm::Bfs,
+        "pr" => Algorithm::Pr,
+        "sssp" => Algorithm::Sssp,
+        "cc" => Algorithm::Cc,
+        _ => usage(),
+    }
+}
+
+fn parse_dataset(s: &str) -> Dataset {
+    match s.to_ascii_lowercase().as_str() {
+        "kron" => Dataset::Kron,
+        "urand" => Dataset::Urand,
+        "orkut" => Dataset::Orkut,
+        "livejournal" | "lj" => Dataset::LiveJournal,
+        "road" => Dataset::Road,
+        _ => usage(),
+    }
+}
+
+fn parse_prefetcher(s: &str) -> PrefetcherKind {
+    match s.to_ascii_lowercase().as_str() {
+        "none" | "baseline" => PrefetcherKind::None,
+        "nextline" | "next-line" => PrefetcherKind::NextLine,
+        "ghb" => PrefetcherKind::Ghb,
+        "vldp" => PrefetcherKind::Vldp,
+        "stream" => PrefetcherKind::Stream,
+        "streammpp1" | "stream-mpp1" => PrefetcherKind::StreamMpp1,
+        "droplet" => PrefetcherKind::Droplet,
+        "mono" | "monodropletl1" => PrefetcherKind::MonoDropletL1,
+        "adaptive" | "droplet-adaptive" => PrefetcherKind::AdaptiveDroplet,
+        _ => usage(),
+    }
+}
+
+fn parse_scale(s: &str) -> DatasetScale {
+    match s.to_ascii_lowercase().as_str() {
+        "tiny" => DatasetScale::Tiny,
+        "small" => DatasetScale::Small,
+        "sim" => DatasetScale::Sim,
+        _ => usage(),
+    }
+}
+
+#[derive(Default)]
+struct Args {
+    algo: Option<Algorithm>,
+    dataset: Option<Dataset>,
+    prefetcher: Option<PrefetcherKind>,
+    scale: Option<DatasetScale>,
+    budget: Option<u64>,
+}
+
+fn parse_flags(rest: &[String]) -> Args {
+    let mut args = Args::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--algo" => args.algo = Some(parse_algo(value)),
+            "--dataset" => args.dataset = Some(parse_dataset(value)),
+            "--prefetcher" => args.prefetcher = Some(parse_prefetcher(value)),
+            "--scale" => args.scale = Some(parse_scale(value)),
+            "--budget" => args.budget = Some(value.parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn report(label: &str, r: &RunResult) {
+    println!("--- {label} ---");
+    println!("cycles               {}", r.core.cycles);
+    println!("instructions         {}", r.core.instructions);
+    println!("IPC                  {:.3}", r.core.ipc());
+    println!("cycle stack          {}", r.core.cycle_stack);
+    println!("DRAM MLP             {:.2}", r.core.mlp.avg_outstanding);
+    println!("LLC MPKI             {:.1}", r.llc_mpki());
+    println!("L2 hit rate          {:.1}%", 100.0 * r.l2_hit_rate());
+    println!("BPKI                 {:.1}", r.bpki());
+    println!("BW utilization       {:.1}%", 100.0 * r.bandwidth_utilization());
+    for dt in DataType::ALL {
+        let b = r.service_breakdown(dt);
+        println!(
+            "{dt:>12} serviced  L1 {:>5.1}%  L2 {:>5.1}%  L3 {:>5.1}%  DRAM {:>5.1}%",
+            100.0 * b[0],
+            100.0 * b[1],
+            100.0 * b[2],
+            100.0 * b[3]
+        );
+    }
+    if let Some(mpp) = &r.mpp {
+        println!(
+            "MPP                  scanned {} lines, {} candidates, {} walks, drops {}/{}",
+            mpp.lines_scanned, mpp.candidates, mpp.mtlb_walks, mpp.buffer_drops, mpp.page_fault_drops
+        );
+        println!(
+            "prefetch accuracy    structure {:.0}%, property {:.0}%",
+            100.0 * r.prefetch_accuracy(DataType::Structure),
+            100.0 * r.prefetch_accuracy(DataType::Property)
+        );
+    }
+    if let Some(locked) = r.sys.adaptive_locked_data_aware {
+        println!(
+            "adaptive mode        locked {}",
+            if locked { "data-aware" } else { "conventional (streamMPP1)" }
+        );
+    }
+}
+
+fn cmd_info() {
+    println!("algorithms:   bc bfs pr sssp cc          (paper Table II)");
+    println!("datasets:     kron urand orkut livejournal road  (paper Table III)");
+    println!("prefetchers:  none ghb vldp stream streammpp1 droplet mono adaptive");
+    println!("scales:       tiny (~8K vertices) small (~32K) sim (~1-2M, Table I hierarchy)");
+    println!();
+    for d in Dataset::ALL {
+        let g = d.build(DatasetScale::Tiny);
+        println!(
+            "{:>12} (tiny): {} vertices, {} edges, {}",
+            d.name(),
+            g.num_vertices(),
+            g.num_edges(),
+            DegreeStats::of(&g)
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let Some(cmd) = argv.get(1) else { usage() };
+    match cmd.as_str() {
+        "info" => cmd_info(),
+        "run" | "sweep" => {
+            let args = parse_flags(&argv[2..]);
+            let (Some(algo), Some(dataset)) = (args.algo, args.dataset) else {
+                usage()
+            };
+            let scale = args.scale.unwrap_or(DatasetScale::Small);
+            let mut ctx = ExperimentCtx::at(scale);
+            if let Some(b) = args.budget {
+                ctx.budget = b;
+                ctx.warmup = (b / 4) as usize;
+            }
+            let spec = WorkloadSpec {
+                algorithm: algo,
+                dataset,
+                scale,
+            };
+            eprintln!("building {} at {scale:?} scale...", spec.label());
+            let bundle = spec.build_trace_with_budget(ctx.budget);
+            eprintln!(
+                "trace: {} ops ({} instructions), completed: {}",
+                bundle.ops.len(),
+                bundle.instructions,
+                bundle.completed
+            );
+            if cmd == "run" {
+                let kind = args.prefetcher.unwrap_or(PrefetcherKind::Droplet);
+                let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+                report("baseline (no prefetch)", &base);
+                if kind != PrefetcherKind::None {
+                    let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+                    report(kind.name(), &r);
+                    println!(
+                        "\nspeedup over baseline: {:.2}x",
+                        base.core.cycles as f64 / r.core.cycles.max(1) as f64
+                    );
+                }
+            } else {
+                let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+                let mut t = Table::new(vec![
+                    "config".into(),
+                    "speedup".into(),
+                    "L2 hit".into(),
+                    "LLC MPKI".into(),
+                    "BPKI".into(),
+                ]);
+                let mut kinds = PrefetcherKind::EVALUATED.to_vec();
+                kinds.push(PrefetcherKind::AdaptiveDroplet);
+                for kind in kinds {
+                    let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+                    t.row(vec![
+                        kind.name().into(),
+                        format!("{:.2}x", base.core.cycles as f64 / r.core.cycles.max(1) as f64),
+                        format!("{:.1}%", 100.0 * r.l2_hit_rate()),
+                        format!("{:.1}", r.llc_mpki()),
+                        format!("{:.1}", r.bpki()),
+                    ]);
+                }
+                println!("{}", t.render());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,298 @@
+//! Whole-system configuration: the Table I baseline plus the six prefetcher
+//! configurations of Section VII-A.
+
+use droplet_cache::CacheConfig;
+use droplet_cpu::CoreConfig;
+use droplet_mem::DramConfig;
+use droplet_prefetch::{GhbConfig, MppConfig, StreamConfig, VldpConfig};
+
+/// The prefetcher configuration under evaluation (paper Section VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// No prefetching: the normalization baseline of Fig. 11.
+    None,
+    /// Next-2-line prefetcher at the L2: a sanity baseline below the
+    /// paper's evaluated set.
+    NextLine,
+    /// G/DC global-history-buffer prefetcher at the L2.
+    Ghb,
+    /// Variable Length Delta Prefetcher at the L2.
+    Vldp,
+    /// Conventional L2 streamer snooping all L1 misses.
+    Stream,
+    /// Conventional streamer + MPP1 (MPP that recognizes structure lines by
+    /// address range, since the streamer is not data-aware).
+    StreamMpp1,
+    /// DROPLET: data-aware structure-only streamer + decoupled MC-side MPP.
+    Droplet,
+    /// Data-aware streamer + MPP1 implemented monolithically at the L1 —
+    /// the arrangement closest to Ainsworth & Jones [40].
+    MonoDropletL1,
+    /// The Section VII-B extension: DROPLET that adaptively turns the
+    /// streamer's data-awareness off (becoming streamMPP1) when a probing
+    /// epoch shows the conventional mode servicing demand misses faster —
+    /// the "no worse than streamMPP1 for BFS and road" design.
+    AdaptiveDroplet,
+}
+
+impl PrefetcherKind {
+    /// The six evaluated configurations, in the paper's legend order.
+    pub const EVALUATED: [PrefetcherKind; 6] = [
+        PrefetcherKind::Ghb,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Stream,
+        PrefetcherKind::StreamMpp1,
+        PrefetcherKind::Droplet,
+        PrefetcherKind::MonoDropletL1,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "baseline",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::Ghb => "GHB",
+            PrefetcherKind::Vldp => "VLDP",
+            PrefetcherKind::Stream => "stream",
+            PrefetcherKind::StreamMpp1 => "streamMPP1",
+            PrefetcherKind::Droplet => "DROPLET",
+            PrefetcherKind::MonoDropletL1 => "monoDROPLETL1",
+            PrefetcherKind::AdaptiveDroplet => "DROPLET-adaptive",
+        }
+    }
+
+    /// Whether the configuration includes an MPP (of either variant).
+    pub fn has_mpp(self) -> bool {
+        matches!(
+            self,
+            PrefetcherKind::StreamMpp1
+                | PrefetcherKind::Droplet
+                | PrefetcherKind::MonoDropletL1
+                | PrefetcherKind::AdaptiveDroplet
+        )
+    }
+
+    /// Whether the MPP variant recognizes structure lines by address range
+    /// (MPP1) rather than relying on the MRB C-bit.
+    pub fn mpp_recognizes_structure(self) -> bool {
+        // The adaptive variant must recognize structure lines by range:
+        // in conventional mode its streamer requests carry no C-bit.
+        matches!(
+            self,
+            PrefetcherKind::StreamMpp1
+                | PrefetcherKind::MonoDropletL1
+                | PrefetcherKind::AdaptiveDroplet
+        )
+    }
+
+    /// Whether all prefetching is wired monolithically at the L1.
+    pub fn monolithic_l1(self) -> bool {
+        matches!(self, PrefetcherKind::MonoDropletL1)
+    }
+}
+
+impl std::fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full system configuration (paper Table I + Table V).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// L1D geometry.
+    pub l1: CacheConfig,
+    /// Private L2 geometry; `None` models the "no private L2" point of
+    /// Fig. 4b.
+    pub l2: Option<CacheConfig>,
+    /// Shared L3 geometry.
+    pub l3: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Data TLB entries.
+    pub dtlb_entries: usize,
+    /// Page-walk latency charged on a DTLB miss (cycles).
+    pub tlb_walk_latency: u64,
+    /// The prefetcher configuration under test.
+    pub prefetcher: PrefetcherKind,
+    /// Streamer parameters (used by Stream/StreamMPP1/DROPLET/mono).
+    pub stream: StreamConfig,
+    /// GHB parameters.
+    pub ghb: GhbConfig,
+    /// VLDP parameters.
+    pub vldp: VldpConfig,
+    /// MPP parameters.
+    pub mpp: MppConfig,
+    /// Memory-request-buffer capacity.
+    pub mrb_entries: usize,
+    /// L1 miss-status-holding registers: the cap on outstanding demand
+    /// misses per core (10 on the Nehalem-class machines SNIPER validates
+    /// against). This — together with the load-load chains — is what makes
+    /// a 4× instruction window nearly useless (Fig. 3).
+    pub mshrs: usize,
+    /// Probing-epoch length (in demand L1 misses) for the adaptive
+    /// DROPLET extension.
+    pub adaptive_epoch_misses: u64,
+}
+
+impl SystemConfig {
+    /// The Table I baseline with no prefetching.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            core: CoreConfig::baseline(),
+            l1: CacheConfig::l1d(),
+            l2: Some(CacheConfig::l2()),
+            l3: CacheConfig::l3(),
+            dram: DramConfig::ddr3(),
+            dtlb_entries: 64,
+            tlb_walk_latency: 30,
+            prefetcher: PrefetcherKind::None,
+            stream: StreamConfig::conventional(),
+            ghb: GhbConfig::paper(),
+            vldp: VldpConfig::paper(),
+            mpp: MppConfig::paper(),
+            mrb_entries: 256,
+            mshrs: 10,
+            adaptive_epoch_misses: 50_000,
+        }
+    }
+
+    /// Selects a prefetcher configuration, adjusting the streamer mode to
+    /// match (data-aware for DROPLET and the monolithic variant).
+    #[must_use]
+    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetcher = kind;
+        // Flip the streamer mode but keep sizing (tracker count etc.) so
+        // scaled-down configurations stay scaled.
+        self.stream.data_aware = matches!(
+            kind,
+            PrefetcherKind::Droplet
+                | PrefetcherKind::MonoDropletL1
+                | PrefetcherKind::AdaptiveDroplet
+        );
+        self
+    }
+
+    /// Replaces the L3 with a CACTI-latency-scaled LLC of `megabytes`
+    /// (the Fig. 4a sweep).
+    #[must_use]
+    pub fn with_llc_megabytes(mut self, megabytes: u64) -> Self {
+        self.l3 = CacheConfig::l3_sized(megabytes);
+        self
+    }
+
+    /// Replaces the private L2 (the Fig. 4b sweep); `None` removes it.
+    #[must_use]
+    pub fn with_l2(mut self, l2: Option<CacheConfig>) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Scales the instruction window (ROB) by `factor` — the Fig. 3
+    /// experiment. The load/store queues keep their Table I sizes: the
+    /// paper varies the window, not the whole core, and the fixed queues
+    /// are part of why extra window exposes so little MLP.
+    #[must_use]
+    pub fn with_window_scale(mut self, factor: u32) -> Self {
+        self.core.rob *= factor;
+        self
+    }
+
+    /// A hierarchy scaled down ~512× for tests and examples on tiny
+    /// datasets: the capacity *ratios* of Table I are preserved (structure
+    /// working sets exceed the LLC, property working sets exceed the L2),
+    /// so the paper's qualitative behaviours reproduce in milliseconds.
+    pub fn test_scale() -> Self {
+        let mut cfg = Self::baseline();
+        cfg.l1 = CacheConfig {
+            name: "L1D",
+            size_bytes: 1024,
+            assoc: 8,
+            tag_latency: 1,
+            data_latency: 4,
+        };
+        cfg.l2 = Some(CacheConfig {
+            name: "L2",
+            size_bytes: 8 * 1024,
+            assoc: 8,
+            tag_latency: 3,
+            data_latency: 8,
+        });
+        cfg.l3 = CacheConfig {
+            name: "L3",
+            size_bytes: 16 * 1024,
+            assoc: 16,
+            tag_latency: 10,
+            data_latency: 30,
+        };
+        // Tiny datasets have few pages; scale the stream trackers down too
+        // so tracker contention (Section V-B1) stays observable.
+        cfg.stream.trackers = 4;
+        // Prefetch lookahead must scale with L2 turnover, or timely lines
+        // die before use in the miniature hierarchy.
+        cfg.stream.distance = 8;
+        cfg.stream.degree = 2;
+        // Scale the MPP's VAB/PAB occupancy bound with the hierarchy so
+        // outstanding property prefetches cannot thrash the whole LLC.
+        cfg.mpp.vab_entries = 16;
+        cfg.mpp.pab_entries = 16;
+        cfg.adaptive_epoch_misses = 10_000;
+        cfg
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_i() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.core.rob, 128);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.as_ref().unwrap().size_bytes, 256 * 1024);
+        assert_eq!(c.l3.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.prefetcher, PrefetcherKind::None);
+        assert_eq!(c.mrb_entries, 256);
+    }
+
+    #[test]
+    fn with_prefetcher_sets_streamer_mode() {
+        let d = SystemConfig::baseline().with_prefetcher(PrefetcherKind::Droplet);
+        assert!(d.stream.data_aware);
+        let s = SystemConfig::baseline().with_prefetcher(PrefetcherKind::StreamMpp1);
+        assert!(!s.stream.data_aware);
+        let m = SystemConfig::baseline().with_prefetcher(PrefetcherKind::MonoDropletL1);
+        assert!(m.stream.data_aware);
+        assert!(m.prefetcher.monolithic_l1());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(PrefetcherKind::Droplet.has_mpp());
+        assert!(!PrefetcherKind::Droplet.mpp_recognizes_structure());
+        assert!(PrefetcherKind::StreamMpp1.mpp_recognizes_structure());
+        assert!(!PrefetcherKind::Stream.has_mpp());
+        assert_eq!(PrefetcherKind::EVALUATED.len(), 6);
+        assert_eq!(PrefetcherKind::Droplet.to_string(), "DROPLET");
+    }
+
+    #[test]
+    fn sweep_builders_apply() {
+        let c = SystemConfig::baseline()
+            .with_llc_megabytes(32)
+            .with_l2(None)
+            .with_window_scale(4);
+        assert_eq!(c.l3.size_bytes, 32 * 1024 * 1024);
+        assert!(c.l2.is_none());
+        assert_eq!(c.core.rob, 512);
+    }
+}

@@ -1,0 +1,266 @@
+//! Cache-hierarchy sensitivity sweeps (paper Fig. 4a/4b/4c).
+
+use crate::datasets::WorkloadSpec;
+use crate::experiments::ExperimentCtx;
+use crate::report::{geomean, pct, Table};
+use crate::system::run_workload;
+use droplet_trace::DataType;
+
+/// One LLC capacity point of the Fig. 4a sweep.
+#[derive(Debug, Clone)]
+pub struct LlcPoint {
+    /// LLC capacity in bytes.
+    pub size_bytes: u64,
+    /// Mean LLC demand MPKI across the workload matrix.
+    pub mean_mpki: f64,
+    /// Geomean speedup over the 8 MB baseline.
+    pub geomean_speedup: f64,
+    /// Mean off-chip demand fraction per data type (Fig. 4c).
+    pub offchip_by_type: [f64; 3],
+}
+
+/// Fig. 4a (and 4c) — shared-LLC capacity sensitivity.
+#[derive(Debug, Clone)]
+pub struct Fig04a {
+    /// One entry per swept capacity (8/16/32/64 MB).
+    pub points: Vec<LlcPoint>,
+}
+
+impl Fig04a {
+    /// Renders the Fig. 4a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "LLC".into(),
+            "mean MPKI".into(),
+            "geomean speedup".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                size_label(p.size_bytes),
+                format!("{:.1}", p.mean_mpki),
+                format!("{:.3}x", p.geomean_speedup),
+            ]);
+        }
+        format!(
+            "Fig. 4a — LLC capacity sweep\n{}\n\
+             paper: MPKI 20 -> 16 -> 12 -> 10; speedups +7% / +17.4% / +7.6%\n\
+             (the optimum balances miss rate against access latency)\n",
+            t.render()
+        )
+    }
+}
+
+/// Formats a capacity as "16 KB" / "8 MB".
+fn size_label(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{} MB", bytes / (1024 * 1024))
+    } else {
+        format!("{} KB", bytes / 1024)
+    }
+}
+
+/// Runs the Fig. 4a/4c sweep.
+pub fn fig04a_llc_sweep(ctx: &ExperimentCtx) -> Fig04a {
+    let specs = WorkloadSpec::matrix(ctx.scale);
+    let bundles: Vec<_> = specs
+        .iter()
+        .map(|s| s.build_trace_with_budget(ctx.budget))
+        .collect();
+    let mut base_cycles = Vec::new();
+    let mut points = Vec::new();
+    for (step, l3) in ctx.llc_sweep().into_iter().enumerate() {
+        let mut cfg = ctx.base.clone();
+        let size_bytes = l3.size_bytes;
+        cfg.l3 = l3;
+        let mut mpkis = Vec::new();
+        let mut speedups = Vec::new();
+        let mut offchip = [0.0f64; 3];
+        for (i, bundle) in bundles.iter().enumerate() {
+            let r = run_workload(bundle, &cfg, ctx.warmup);
+            mpkis.push(r.llc_mpki());
+            if step == 0 {
+                base_cycles.push(r.core.cycles);
+                speedups.push(1.0);
+            } else {
+                speedups.push(base_cycles[i] as f64 / r.core.cycles.max(1) as f64);
+            }
+            for dt in DataType::ALL {
+                offchip[dt.index()] += r.offchip_fraction(dt) / bundles.len() as f64;
+            }
+        }
+        points.push(LlcPoint {
+            size_bytes,
+            mean_mpki: mpkis.iter().sum::<f64>() / mpkis.len().max(1) as f64,
+            geomean_speedup: geomean(&speedups),
+            offchip_by_type: offchip,
+        });
+    }
+    Fig04a { points }
+}
+
+/// Renders Fig. 4c from an existing Fig. 4a sweep.
+pub fn fig04c_offchip_by_type(sweep: &Fig04a) -> String {
+    let mut t = Table::new(vec![
+        "LLC".into(),
+        "structure off-chip".into(),
+        "property off-chip".into(),
+        "intermediate off-chip".into(),
+    ]);
+    for p in &sweep.points {
+        t.row(vec![
+            size_label(p.size_bytes),
+            pct(p.offchip_by_type[DataType::Structure.index()]),
+            pct(p.offchip_by_type[DataType::Property.index()]),
+            pct(p.offchip_by_type[DataType::Intermediate.index()]),
+        ]);
+    }
+    format!(
+        "Fig. 4c — off-chip demand accesses by data type vs LLC capacity\n{}\n\
+         paper: property benefits most from capacity; structure (7.5% off-chip)\n\
+         barely responds; intermediate is already on-chip (1.9%).\n",
+        t.render()
+    )
+}
+
+/// One L2-configuration point of the Fig. 4b sweep.
+#[derive(Debug, Clone)]
+pub struct L2Point {
+    /// Configuration label ("none", "256KB/8w", ...).
+    pub label: String,
+    /// Mean L2 demand hit rate (0 for "none").
+    pub mean_hit_rate: f64,
+    /// Geomean speedup over the 256 KB baseline.
+    pub geomean_speedup: f64,
+}
+
+/// Fig. 4b — private-L2 sensitivity (capacity and associativity).
+#[derive(Debug, Clone)]
+pub struct Fig04b {
+    /// One entry per swept configuration.
+    pub points: Vec<L2Point>,
+}
+
+impl Fig04b {
+    /// Renders the Fig. 4b table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "L2 config".into(),
+            "mean hit rate".into(),
+            "geomean speedup vs 256KB".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.label.clone(),
+                pct(p.mean_hit_rate),
+                format!("{:.3}x", p.geomean_speedup),
+            ]);
+        }
+        format!(
+            "Fig. 4b — private L2 sensitivity\n{}\n\
+             paper: hit rate ~10.6% at baseline, 15.3% at 2x capacity, 10.9% at 4x\n\
+             associativity; performance is insensitive — no-L2 matches 256KB.\n",
+            t.render()
+        )
+    }
+}
+
+/// Runs the Fig. 4b sweep.
+pub fn fig04b_l2_sweep(ctx: &ExperimentCtx) -> Fig04b {
+    let specs = WorkloadSpec::matrix(ctx.scale);
+    let bundles: Vec<_> = specs
+        .iter()
+        .map(|s| s.build_trace_with_budget(ctx.budget))
+        .collect();
+
+    // Baseline cycles: the base L2 point.
+    let base_cfg = ctx.base.clone();
+    let base_cycles: Vec<u64> = bundles
+        .iter()
+        .map(|b| run_workload(b, &base_cfg, ctx.warmup).core.cycles)
+        .collect();
+
+    let mut points = Vec::new();
+    for (label, l2) in ctx.l2_sweep() {
+        let cfg = ctx.base.clone().with_l2(l2);
+        let mut hit_rates = Vec::new();
+        let mut speedups = Vec::new();
+        for (i, bundle) in bundles.iter().enumerate() {
+            let r = run_workload(bundle, &cfg, ctx.warmup);
+            hit_rates.push(r.l2_hit_rate());
+            speedups.push(base_cycles[i] as f64 / r.core.cycles.max(1) as f64);
+        }
+        points.push(L2Point {
+            label,
+            mean_hit_rate: hit_rates.iter().sum::<f64>() / hit_rates.len().max(1) as f64,
+            geomean_speedup: geomean(&speedups),
+        });
+    }
+    Fig04b { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplet_gap::Algorithm;
+    use droplet_graph::Dataset;
+
+    /// A cut-down sweep over one workload so tests stay fast.
+    fn one_bundle(ctx: &ExperimentCtx) -> droplet_gap::TraceBundle {
+        WorkloadSpec {
+            algorithm: Algorithm::Pr,
+            dataset: Dataset::LiveJournal,
+            scale: ctx.scale,
+        }
+        .build_trace_with_budget(ctx.budget)
+    }
+
+    #[test]
+    fn llc_capacity_reduces_mpki_monotonically() {
+        let ctx = ExperimentCtx::tiny();
+        let bundle = one_bundle(&ctx);
+        let mut last = f64::INFINITY;
+        for l3 in ctx.llc_sweep() {
+            let mut cfg = ctx.base.clone();
+            cfg.l3 = l3;
+            let r = run_workload(&bundle, &cfg, ctx.warmup);
+            let mpki = r.llc_mpki();
+            assert!(mpki <= last + 1e-9, "MPKI must not grow: {mpki} after {last}");
+            last = mpki;
+        }
+    }
+
+    #[test]
+    fn l2_performance_is_insensitive() {
+        let ctx = ExperimentCtx::tiny();
+        let bundle = one_bundle(&ctx);
+        let with = run_workload(&bundle, &ctx.base, ctx.warmup);
+        let without = run_workload(&bundle, &ctx.base.clone().with_l2(None), ctx.warmup);
+        let ratio = with.core.cycles as f64 / without.core.cycles as f64;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "no-L2 should roughly match the base L2: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn renders_mention_figures() {
+        let sweep = Fig04a {
+            points: vec![LlcPoint {
+                size_bytes: 8 * 1024 * 1024,
+                mean_mpki: 20.0,
+                geomean_speedup: 1.0,
+                offchip_by_type: [0.07, 0.2, 0.02],
+            }],
+        };
+        assert!(sweep.render().contains("Fig. 4a"));
+        assert!(fig04c_offchip_by_type(&sweep).contains("Fig. 4c"));
+        let b = Fig04b {
+            points: vec![L2Point {
+                label: "none".into(),
+                mean_hit_rate: 0.0,
+                geomean_speedup: 1.0,
+            }],
+        };
+        assert!(b.render().contains("Fig. 4b"));
+    }
+}

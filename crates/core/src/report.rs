@@ -1,0 +1,137 @@
+//! Plain-text table rendering for the figure-regeneration benches.
+
+/// A simple fixed-width table builder.
+///
+/// # Example
+///
+/// ```
+/// use droplet::report::Table;
+/// let mut t = Table::new(vec!["workload".into(), "speedup".into()]);
+/// t.row(vec!["PR-kron".into(), "1.30".into()]);
+/// let text = t.render();
+/// assert!(text.contains("PR-kron"));
+/// assert!(text.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>width$}  ", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a speedup ratio ("1.32x").
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Geometric mean of positive values; 0 if empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "metric".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("metric"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(speedup(1.5), "1.50x");
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+}

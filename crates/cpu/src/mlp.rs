@@ -1,0 +1,108 @@
+//! Memory-level-parallelism measurement.
+//!
+//! MLP is the average number of outstanding DRAM requests over the cycles
+//! during which at least one is outstanding (Chou et al. [32], the
+//! definition the paper's Section IV-A uses).
+
+use droplet_trace::Cycle;
+
+/// MLP summary of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpStats {
+    /// Average outstanding DRAM requests while any are outstanding.
+    pub avg_outstanding: f64,
+    /// Cycles with at least one outstanding DRAM request.
+    pub busy_cycles: u64,
+    /// Total DRAM request-latency cycles (sum over requests).
+    pub latency_sum: u64,
+    /// Number of DRAM requests observed.
+    pub requests: u64,
+}
+
+/// Computes MLP from `(issue, complete)` intervals via a sweep line.
+///
+/// # Example
+///
+/// ```
+/// use droplet_cpu::mlp_of_intervals;
+/// // Two fully-overlapping requests: MLP 2.
+/// let stats = mlp_of_intervals(&mut vec![(0, 100), (0, 100)]);
+/// assert!((stats.avg_outstanding - 2.0).abs() < 1e-12);
+/// // Two disjoint requests: MLP 1.
+/// let stats = mlp_of_intervals(&mut vec![(0, 100), (200, 300)]);
+/// assert!((stats.avg_outstanding - 1.0).abs() < 1e-12);
+/// ```
+pub fn mlp_of_intervals(intervals: &mut Vec<(Cycle, Cycle)>) -> MlpStats {
+    let requests = intervals.len() as u64;
+    if requests == 0 {
+        return MlpStats {
+            avg_outstanding: 0.0,
+            busy_cycles: 0,
+            latency_sum: 0,
+            requests: 0,
+        };
+    }
+    let latency_sum: u64 = intervals.iter().map(|&(a, b)| b.saturating_sub(a)).sum();
+    // Event sweep: +1 at issue, −1 at complete.
+    let mut events: Vec<(Cycle, i64)> = Vec::with_capacity(intervals.len() * 2);
+    for &(a, b) in intervals.iter() {
+        events.push((a, 1));
+        events.push((b, -1));
+    }
+    events.sort_unstable();
+    let mut outstanding = 0i64;
+    let mut busy_cycles = 0u64;
+    let mut last_t = 0;
+    for (t, d) in events {
+        if outstanding > 0 {
+            busy_cycles += t - last_t;
+        }
+        outstanding += d;
+        last_t = t;
+    }
+    let avg = if busy_cycles == 0 {
+        0.0
+    } else {
+        latency_sum as f64 / busy_cycles as f64
+    };
+    MlpStats {
+        avg_outstanding: avg,
+        busy_cycles,
+        latency_sum,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = mlp_of_intervals(&mut Vec::new());
+        assert_eq!(s.avg_outstanding, 0.0);
+        assert_eq!(s.requests, 0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // [0,100) and [50,150): 200 latency cycles over 150 busy ⇒ 4/3.
+        let s = mlp_of_intervals(&mut vec![(0, 100), (50, 150)]);
+        assert!((s.avg_outstanding - 200.0 / 150.0).abs() < 1e-12);
+        assert_eq!(s.busy_cycles, 150);
+        assert_eq!(s.latency_sum, 200);
+        assert_eq!(s.requests, 2);
+    }
+
+    #[test]
+    fn serialized_chain_has_mlp_one() {
+        let s = mlp_of_intervals(&mut vec![(0, 10), (10, 20), (20, 30)]);
+        assert!((s.avg_outstanding - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = mlp_of_intervals(&mut vec![(200, 300), (0, 100)]);
+        assert!((s.avg_outstanding - 1.0).abs() < 1e-12);
+    }
+}

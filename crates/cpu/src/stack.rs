@@ -1,0 +1,112 @@
+//! Cycle-stack accounting (paper Fig. 1).
+//!
+//! Every retire-window cycle is attributed either to useful issue bandwidth
+//! (`base`) or to the memory level that serviced the load blocking
+//! retirement, giving the DRAM-bound / cache-bound / busy breakdown the
+//! paper opens with.
+
+/// Cycle attribution for one simulated run, in retire-slot units
+/// (`1 / retire_width` of a cycle each, converted on read-out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStack {
+    /// Slots spent retiring instructions at full bandwidth.
+    pub base: u64,
+    /// Stall slots attributed to L1 access latency.
+    pub l1: u64,
+    /// Stall slots attributed to L2 hits.
+    pub l2: u64,
+    /// Stall slots attributed to L3 hits.
+    pub l3: u64,
+    /// Stall slots attributed to DRAM-bound loads.
+    pub dram: u64,
+    /// Stall slots not attributable to a memory level (dependency bubbles,
+    /// dispatch limits).
+    pub other: u64,
+}
+
+impl CycleStack {
+    /// Total slots accounted.
+    pub fn total(&self) -> u64 {
+        self.base + self.l1 + self.l2 + self.l3 + self.dram + self.other
+    }
+
+    /// Fraction of time in a component, 0..1.
+    pub fn fraction(&self, slots: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            slots as f64 / t as f64
+        }
+    }
+
+    /// Fraction of DRAM-bound stall time (the paper reports ~45 % for
+    /// PR-orkut).
+    pub fn dram_fraction(&self) -> f64 {
+        self.fraction(self.dram)
+    }
+
+    /// Fraction of fully-busy time (~15 % in Fig. 1).
+    pub fn busy_fraction(&self) -> f64 {
+        self.fraction(self.base)
+    }
+}
+
+impl std::fmt::Display for CycleStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "base {:.1}% | L1 {:.1}% | L2 {:.1}% | L3 {:.1}% | DRAM {:.1}% | other {:.1}%",
+            100.0 * self.fraction(self.base),
+            100.0 * self.fraction(self.l1),
+            100.0 * self.fraction(self.l2),
+            100.0 * self.fraction(self.l3),
+            100.0 * self.fraction(self.dram),
+            100.0 * self.fraction(self.other),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = CycleStack {
+            base: 10,
+            l1: 5,
+            l2: 5,
+            l3: 10,
+            dram: 60,
+            other: 10,
+        };
+        let sum = s.fraction(s.base)
+            + s.fraction(s.l1)
+            + s.fraction(s.l2)
+            + s.fraction(s.l3)
+            + s.fraction(s.dram)
+            + s.fraction(s.other);
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((s.dram_fraction() - 0.6).abs() < 1e-12);
+        assert!((s.busy_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stack_is_zero() {
+        let s = CycleStack::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.dram_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let s = CycleStack {
+            base: 1,
+            dram: 1,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("DRAM 50.0%"), "{text}");
+    }
+}

@@ -1,0 +1,204 @@
+//! The five GAP-benchmark workloads (paper Table II) in two forms each:
+//! a *reference* implementation (pure function of the graph, used by the
+//! correctness tests) and a *traced* implementation that computes the same
+//! result while emitting a data-type-tagged memory-operation stream with
+//! explicit load-load producer links.
+//!
+//! Tracing covers the paper's region of interest: the iterative kernel.
+//! Graph loading and array initialization happen functionally but emit no
+//! ops, mirroring the paper's methodology of running the graph-reading phase
+//! in cache-warm-up mode and collecting statistics inside the marked ROI.
+//!
+//! # Example
+//!
+//! ```
+//! use droplet_gap::{Algorithm, TraceBundle};
+//! use droplet_graph::{Dataset, DatasetScale};
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+//! let bundle: TraceBundle = Algorithm::Pr.trace(&g, u64::MAX);
+//! assert!(!bundle.ops.is_empty());
+//! assert!(bundle.completed);
+//! ```
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod mem;
+pub mod pr;
+pub mod sssp;
+
+pub use mem::{GraphArrays, StructureImage};
+
+use droplet_graph::Csr;
+use droplet_trace::{AddressSpace, MemOp, Tracer, VecTracer, VirtAddr};
+use std::sync::Arc;
+
+/// The five GAP algorithms (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Betweenness centrality (Brandes, depth-synchronized).
+    Bc,
+    /// Breadth-first search (direction-optimizing, parent array).
+    Bfs,
+    /// PageRank (pull-style over CSR neighbor lists).
+    Pr,
+    /// Single-source shortest paths (delta-stepping buckets).
+    Sssp,
+    /// Connected components (label propagation + pointer jumping).
+    Cc,
+}
+
+impl Algorithm {
+    /// All five algorithms in the paper's figure order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Bc,
+        Algorithm::Bfs,
+        Algorithm::Pr,
+        Algorithm::Sssp,
+        Algorithm::Cc,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Bc => "BC",
+            Algorithm::Bfs => "BFS",
+            Algorithm::Pr => "PR",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::Cc => "CC",
+        }
+    }
+
+    /// Whether the workload requires a weighted graph.
+    pub fn needs_weights(self) -> bool {
+        matches!(self, Algorithm::Sssp)
+    }
+
+    /// Runs the traced implementation with an op `budget`, returning the
+    /// trace and its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is missing weights required by the algorithm.
+    pub fn trace(self, g: &Arc<Csr>, budget: u64) -> TraceBundle {
+        if self.needs_weights() {
+            assert!(g.is_weighted(), "{} requires a weighted graph", self.name());
+        }
+        let mut space = AddressSpace::new();
+        let arrays = GraphArrays::new(&mut space, g);
+        match self {
+            Algorithm::Pr => pr::traced(g, space, arrays, budget),
+            Algorithm::Bfs => bfs::traced(g, space, arrays, budget),
+            Algorithm::Cc => cc::traced(g, space, arrays, budget),
+            Algorithm::Sssp => sssp::traced(g, space, arrays, budget),
+            Algorithm::Bc => bc::traced(g, space, arrays, budget),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A workload digest used to compare traced against reference runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Digest {
+    /// Per-vertex integer results (BFS parents, CC labels, SSSP distances).
+    Ints(Vec<u32>),
+    /// Per-vertex floating-point results (PR scores, BC centrality).
+    Floats(Vec<f64>),
+}
+
+/// Everything the system simulator needs to replay one workload: the memory
+/// trace, the address space that typed it, the functional structure image
+/// for the MPP, and the MPP's software-programmed registers.
+#[derive(Debug)]
+pub struct TraceBundle {
+    /// The algorithm that produced this trace.
+    pub algorithm: Algorithm,
+    /// The ROI memory operations, in program order.
+    pub ops: Vec<MemOp>,
+    /// The region-typed address space.
+    pub space: AddressSpace,
+    /// Total instructions in the ROI (memory + compute).
+    pub instructions: u64,
+    /// `false` when the op budget cut the run short (fine for timing runs).
+    pub completed: bool,
+    /// Functional memory for the MPP's PAG scans.
+    pub funcmem: StructureImage,
+    /// MPP register: base virtual address of the primary property array.
+    pub property_base: VirtAddr,
+    /// MPP register-adjacent: property element size (4 or 8 bytes).
+    pub prop_elem_bytes: u64,
+    /// Number of elements in the primary property array.
+    pub prop_len: u64,
+    /// Additional neighbor-indexed property arrays the MPP may prefetch
+    /// (Section VI multi-property support): `(base, elem_bytes, len)`.
+    pub extra_property_targets: Vec<(VirtAddr, u64, u64)>,
+    /// Functional result for correctness checks.
+    pub digest: Digest,
+}
+
+impl TraceBundle {
+    pub(crate) fn assemble(
+        algorithm: Algorithm,
+        tracer: VecTracer,
+        funcmem: StructureImage,
+        property_base: VirtAddr,
+        prop_elem_bytes: u64,
+        prop_len: u64,
+        completed: bool,
+        digest: Digest,
+    ) -> Self {
+        let instructions = tracer.instructions();
+        let (ops, space) = tracer.into_parts();
+        TraceBundle {
+            algorithm,
+            ops,
+            space,
+            instructions,
+            completed,
+            funcmem,
+            property_base,
+            prop_elem_bytes,
+            prop_len,
+            extra_property_targets: Vec::new(),
+            digest,
+        }
+    }
+
+    /// Declares additional neighbor-indexed property arrays for the MPP
+    /// (Section VI multi-property graphs).
+    #[must_use]
+    pub fn with_extra_property_targets(mut self, targets: Vec<(VirtAddr, u64, u64)>) -> Self {
+        self.extra_property_targets = targets;
+        self
+    }
+
+    /// Memory operations per trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Deterministic source vertex: the highest-out-degree vertex, which is how
+/// we guarantee traversals cover a meaningful portion of every dataset.
+pub fn pick_source(g: &Csr) -> u32 {
+    (0..g.num_vertices())
+        .max_by_key(|&u| g.out_degree(u))
+        .unwrap_or(0)
+}
+
+/// Checks the tracer budget once per outer-loop step.
+pub(crate) fn budget_hit(t: &VecTracer) -> bool {
+    t.is_full()
+}

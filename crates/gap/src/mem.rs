@@ -1,0 +1,195 @@
+//! Shared graph memory layout for traced workloads: the CSR arrays placed
+//! in the typed address space, plus the functional structure image the MPP
+//! scans.
+
+use droplet_graph::Csr;
+use droplet_trace::{
+    AddressSpace, ArrayRegion, DataType, FunctionalMemory, OpId, Tracer, VirtAddr,
+};
+use std::sync::Arc;
+
+/// The CSR arrays of one workload, placed via the data-aware allocator.
+///
+/// `offsets` is *intermediate* data and `neighbors` is *structure* data per
+/// the paper's taxonomy (Section II-A). Weighted graphs use 8-byte structure
+/// elements (neighbor ID + weight packed, matching the paper's description
+/// and its 8 B scan granularity for weighted graphs).
+#[derive(Debug, Clone)]
+pub struct GraphArrays {
+    /// Offset-pointer array: `n + 1` 8-byte entries.
+    pub offsets: ArrayRegion,
+    /// Neighbor-ID array: `m` elements of 4 B (unweighted) or 8 B (weighted).
+    pub neighbors: ArrayRegion,
+}
+
+impl GraphArrays {
+    /// Allocates the CSR arrays for `g` in `space`.
+    pub fn new(space: &mut AddressSpace, g: &Csr) -> Self {
+        let elem = if g.is_weighted() { 8 } else { 4 };
+        let offsets = space.alloc_array(
+            "offsets",
+            DataType::Intermediate,
+            8,
+            u64::from(g.num_vertices()) + 1,
+        );
+        let neighbors = space.alloc_array("neighbors", DataType::Structure, elem, g.num_edges());
+        GraphArrays { offsets, neighbors }
+    }
+
+    /// Structure element size (the MPP's scan granularity): 4 or 8 bytes.
+    pub fn scan_granularity(&self) -> u64 {
+        self.neighbors.elem_bytes()
+    }
+
+    /// Emits the offsets load for vertex `u` and returns its op id.
+    /// Models the single 8 B load that fetches `offsets[u]` (its neighbor
+    /// `offsets[u+1]` almost always shares the cacheline and stays in a
+    /// register in real code).
+    pub fn load_offsets(&self, t: &mut impl Tracer, u: u32) -> OpId {
+        t.load(self.offsets.addr_of(u64::from(u)), DataType::Intermediate, None)
+    }
+
+    /// Emits the structure load for edge index `i`. Only the first load of
+    /// a vertex's neighbor list carries the offsets-producer link; the rest
+    /// advance a register-resident index.
+    pub fn load_neighbor(&self, t: &mut impl Tracer, i: u64, producer: Option<OpId>) -> OpId {
+        t.load(self.neighbors.addr_of(i), DataType::Structure, producer)
+    }
+}
+
+/// One decodable structure segment: a region plus the CSR whose neighbor
+/// IDs it holds.
+#[derive(Debug, Clone)]
+struct Segment {
+    region: ArrayRegion,
+    csr: Arc<Csr>,
+}
+
+/// Functional view of the structure array(s) for the MPP's PAG.
+///
+/// Workloads that keep a second neighbor-ID array — direction-optimizing
+/// BFS scans the transpose during bottom-up steps — register it as an
+/// extra segment so the PAG can decode those cachelines too.
+#[derive(Debug, Clone)]
+pub struct StructureImage {
+    segments: Vec<Segment>,
+}
+
+impl StructureImage {
+    /// Creates the image for `g` laid out as `arrays`.
+    pub fn new(csr: Arc<Csr>, arrays: &GraphArrays) -> Self {
+        StructureImage {
+            segments: vec![Segment {
+                region: arrays.neighbors.clone(),
+                csr,
+            }],
+        }
+    }
+
+    /// Registers an additional structure region holding `csr`'s targets.
+    pub fn push_segment(&mut self, region: ArrayRegion, csr: Arc<Csr>) {
+        self.segments.push(Segment { region, csr });
+    }
+
+    /// The underlying graph of the primary segment.
+    pub fn csr(&self) -> &Arc<Csr> {
+        &self.segments[0].csr
+    }
+
+    /// The primary structure region.
+    pub fn neighbors(&self) -> &ArrayRegion {
+        &self.segments[0].region
+    }
+}
+
+impl FunctionalMemory for StructureImage {
+    fn neighbor_id_at(&self, addr: VirtAddr) -> Option<u32> {
+        for seg in &self.segments {
+            if let Some(i) = seg.region.index_of(addr) {
+                if addr != seg.region.addr_of(i) {
+                    return None; // element-misaligned scan slot
+                }
+                return seg.csr.targets().get(i as usize).copied();
+            }
+        }
+        None
+    }
+
+    fn scan_granularity(&self) -> u64 {
+        self.segments[0].region.elem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplet_graph::CsrBuilder;
+    use droplet_trace::LINE_BYTES;
+
+    fn setup() -> (Arc<Csr>, AddressSpace, GraphArrays) {
+        let g = Arc::new(
+            CsrBuilder::new(6)
+                .edge(0, 1)
+                .edge(0, 2)
+                .edge(0, 5)
+                .edge(1, 3)
+                .edge(2, 4)
+                .build(),
+        );
+        let mut space = AddressSpace::new();
+        let arrays = GraphArrays::new(&mut space, &g);
+        (g, space, arrays)
+    }
+
+    #[test]
+    fn arrays_are_typed_correctly() {
+        let (_, space, arrays) = setup();
+        assert_eq!(
+            space.data_type(arrays.offsets.base()),
+            Some(DataType::Intermediate)
+        );
+        assert_eq!(
+            space.data_type(arrays.neighbors.base()),
+            Some(DataType::Structure)
+        );
+        assert_eq!(arrays.scan_granularity(), 4);
+    }
+
+    #[test]
+    fn weighted_graphs_use_8_byte_structure_elements() {
+        let mut b = CsrBuilder::new(3);
+        b.push_weighted_edge(0, 1, 5);
+        let g = b.build();
+        let mut space = AddressSpace::new();
+        let arrays = GraphArrays::new(&mut space, &g);
+        assert_eq!(arrays.scan_granularity(), 8);
+    }
+
+    #[test]
+    fn structure_image_decodes_neighbor_ids() {
+        let (g, _, arrays) = setup();
+        let img = StructureImage::new(g.clone(), &arrays);
+        // targets = [1, 2, 5, 3, 4] in CSR order.
+        assert_eq!(img.neighbor_id_at(arrays.neighbors.addr_of(0)), Some(1));
+        assert_eq!(img.neighbor_id_at(arrays.neighbors.addr_of(2)), Some(5));
+        assert_eq!(img.neighbor_id_at(arrays.neighbors.addr_of(4)), Some(4));
+        // Misaligned and out-of-region addresses decode to nothing.
+        assert_eq!(
+            img.neighbor_id_at(arrays.neighbors.base().add_bytes(2)),
+            None
+        );
+        assert_eq!(img.neighbor_id_at(VirtAddr::new(64)), None);
+    }
+
+    #[test]
+    fn line_scan_collects_all_ids() {
+        let (g, _, arrays) = setup();
+        let img = StructureImage::new(g, &arrays);
+        let ids = img.neighbor_ids_in_line(arrays.neighbors.base());
+        assert_eq!(ids, vec![1, 2, 5, 3, 4]); // all fit in the first line
+        assert_eq!(
+            img.neighbor_ids_in_line(arrays.neighbors.base().add_bytes(LINE_BYTES)),
+            Vec::<u32>::new()
+        );
+    }
+}

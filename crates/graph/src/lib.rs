@@ -1,0 +1,30 @@
+//! Graph substrate for the DROPLET reproduction: the Compressed Sparse Row
+//! layout the paper's analysis is built around (Section II-A), plus the
+//! synthetic generators standing in for the GAP/SNAP datasets of Table III.
+//!
+//! # Example
+//!
+//! ```
+//! use droplet_graph::{CsrBuilder, gen};
+//!
+//! let g = CsrBuilder::new(4)
+//!     .edge(0, 1)
+//!     .edge(0, 2)
+//!     .edge(2, 3)
+//!     .build();
+//! assert_eq!(g.neighbors(0), &[1, 2]);
+//! assert_eq!(g.num_edges(), 3);
+//!
+//! let kron = gen::rmat(10, 4, gen::RmatSkew::Kron, 42);
+//! assert_eq!(kron.num_vertices(), 1 << 10);
+//! ```
+
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use csr::{Csr, CsrBuilder};
+pub use datasets::{Dataset, DatasetScale};
+pub use stats::DegreeStats;

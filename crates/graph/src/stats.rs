@@ -1,0 +1,96 @@
+//! Degree statistics for dataset summaries (paper Table III analogue).
+
+use crate::csr::Csr;
+
+/// Summary of a graph's out-degree distribution.
+///
+/// # Example
+///
+/// ```
+/// use droplet_graph::{CsrBuilder, DegreeStats};
+/// let g = CsrBuilder::new(3).edge(0, 1).edge(0, 2).edge(1, 2).build();
+/// let s = DegreeStats::of(&g);
+/// assert_eq!(s.max, 2);
+/// assert_eq!(s.min, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest out-degree.
+    pub min: u64,
+    /// Largest out-degree.
+    pub max: u64,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// 99th-percentile out-degree.
+    pub p99: u64,
+    /// Number of vertices with no out-edges.
+    pub zero_degree: u64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics of `g`.
+    pub fn of(g: &Csr) -> DegreeStats {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p99: 0,
+                zero_degree: 0,
+            };
+        }
+        let mut degrees: Vec<u64> = (0..n).map(|u| g.out_degree(u)).collect();
+        degrees.sort_unstable();
+        let idx99 = ((n as u64 - 1) * 99 / 100) as usize;
+        DegreeStats {
+            min: degrees[0],
+            max: *degrees.last().unwrap(),
+            mean: g.avg_degree(),
+            p99: degrees[idx99],
+            zero_degree: degrees.iter().take_while(|&&d| d == 0).count() as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degree min {} / mean {:.2} / p99 {} / max {} (zero-degree: {})",
+            self.min, self.mean, self.p99, self.max, self.zero_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    #[test]
+    fn stats_on_star_graph() {
+        let mut b = CsrBuilder::new(10);
+        for v in 1..10 {
+            b.push_edge(0, v);
+        }
+        let s = DegreeStats::of(&b.build());
+        assert_eq!(s.max, 9);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.zero_degree, 9);
+        assert!((s.mean - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = DegreeStats::of(&CsrBuilder::new(0).build());
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let g = CsrBuilder::new(2).edge(0, 1).build();
+        assert!(DegreeStats::of(&g).to_string().contains("mean"));
+    }
+}

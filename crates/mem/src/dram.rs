@@ -1,0 +1,291 @@
+//! A bank-and-bus DRAM queueing model.
+//!
+//! Each access picks a bank from its physical line address, waits for the
+//! bank to be free (the paper's "queue delay modeled"), takes the device
+//! latency, then occupies the shared data bus for one 64 B burst. Bandwidth
+//! utilization is bus-busy time over elapsed time; BPKI counts every burst.
+
+use droplet_trace::Cycle;
+
+/// DRAM timing and geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Device access latency in core cycles (row activate + CAS + transfer
+    /// start). 45 ns at the paper's 2.66 GHz core is ~120 cycles.
+    pub device_latency: Cycle,
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Cycles a bank stays busy per access (precharge/activate occupancy).
+    pub bank_occupancy: Cycle,
+    /// Core cycles of data-bus occupancy per 64 B burst.
+    pub bus_occupancy: Cycle,
+}
+
+impl DramConfig {
+    /// The baseline DDR3 model of Table I.
+    pub fn ddr3() -> Self {
+        DramConfig {
+            device_latency: 120,
+            banks: 16,
+            bank_occupancy: 36,
+            bus_occupancy: 8,
+        }
+    }
+}
+
+/// Result of a DRAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramResponse {
+    /// Cycle at which the line is available at the memory controller.
+    pub complete_at: Cycle,
+    /// Cycles the request waited before its bank started service.
+    pub queue_delay: Cycle,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DramStats {
+    /// Demand read/write-back bursts.
+    pub demand_accesses: u64,
+    /// Prefetch bursts.
+    pub prefetch_accesses: u64,
+    /// Total bus-busy cycles.
+    pub bus_busy_cycles: u64,
+    /// Total queue-delay cycles across requests.
+    pub queue_delay_cycles: u64,
+    /// First request's start cycle (for utilization windows).
+    pub first_request_at: Option<Cycle>,
+    /// Latest completion cycle seen.
+    pub last_complete_at: Cycle,
+}
+
+impl DramStats {
+    /// All bursts (the numerator of BPKI).
+    pub fn total_accesses(&self) -> u64 {
+        self.demand_accesses + self.prefetch_accesses
+    }
+
+    /// Bus accesses per kilo instruction (Fig. 15's metric).
+    pub fn bpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.total_accesses() as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Bandwidth utilization over `elapsed` core cycles.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.bus_busy_cycles as f64 / elapsed as f64).min(1.0)
+        }
+    }
+
+    /// Mean queue delay per access.
+    pub fn avg_queue_delay(&self) -> f64 {
+        let n = self.total_accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.queue_delay_cycles as f64 / n as f64
+        }
+    }
+}
+
+/// The DRAM device model.
+///
+/// Demand requests have priority over prefetches, as in the prefetch-aware
+/// controllers the paper builds on (the MRB C-bit exists for exactly this):
+/// a demand request never waits behind queued prefetch occupancy, while
+/// prefetches wait behind everything.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    /// Bank occupancy as seen by demand requests (demand-only traffic).
+    bank_free_demand: Vec<Cycle>,
+    /// Bank occupancy as seen by prefetches (all traffic).
+    bank_free_any: Vec<Cycle>,
+    /// Data-bus occupancy as seen by demand requests.
+    bus_free_demand: Cycle,
+    /// Data-bus occupancy as seen by prefetches.
+    bus_free_any: Cycle,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates an idle DRAM with the given timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.banks > 0, "need at least one bank");
+        Dram {
+            bank_free_demand: vec![0; cfg.banks],
+            bank_free_any: vec![0; cfg.banks],
+            bus_free_demand: 0,
+            bus_free_any: 0,
+            cfg,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configured timing.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Issues a burst for physical line `pline` at cycle `now`.
+    /// `is_prefetch` only affects accounting.
+    pub fn request(&mut self, pline: u64, now: Cycle, is_prefetch: bool) -> DramResponse {
+        let bank = (pline as usize) % self.cfg.banks;
+        let bank_gate = if is_prefetch {
+            self.bank_free_any[bank]
+        } else {
+            self.bank_free_demand[bank]
+        };
+        let start = now.max(bank_gate);
+        let bank_busy_until = start + self.cfg.bank_occupancy;
+        self.bank_free_any[bank] = self.bank_free_any[bank].max(bank_busy_until);
+        if !is_prefetch {
+            self.bank_free_demand[bank] = bank_busy_until;
+        }
+        let data_ready = start + self.cfg.device_latency;
+        let bus_gate = if is_prefetch {
+            self.bus_free_any
+        } else {
+            self.bus_free_demand
+        };
+        let bus_start = data_ready.max(bus_gate);
+        let bus_busy_until = bus_start + self.cfg.bus_occupancy;
+        self.bus_free_any = self.bus_free_any.max(bus_busy_until);
+        if !is_prefetch {
+            self.bus_free_demand = bus_busy_until;
+        }
+        let complete_at = bus_busy_until;
+        let queue_delay = (start - now) + (bus_start - data_ready);
+
+        let s = &mut self.stats;
+        if is_prefetch {
+            s.prefetch_accesses += 1;
+        } else {
+            s.demand_accesses += 1;
+        }
+        s.bus_busy_cycles += self.cfg.bus_occupancy;
+        s.queue_delay_cycles += queue_delay;
+        s.first_request_at.get_or_insert(now);
+        s.last_complete_at = s.last_complete_at.max(complete_at);
+
+        DramResponse {
+            complete_at,
+            queue_delay,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Resets statistics (used when warm-up ends). Bank/bus state persists.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dram {
+        Dram::new(DramConfig {
+            device_latency: 100,
+            banks: 2,
+            bank_occupancy: 50,
+            bus_occupancy: 10,
+        })
+    }
+
+    #[test]
+    fn idle_request_takes_device_plus_bus() {
+        let mut d = small();
+        let r = d.request(0, 1000, false);
+        assert_eq!(r.complete_at, 1000 + 100 + 10);
+        assert_eq!(r.queue_delay, 0);
+    }
+
+    #[test]
+    fn same_bank_requests_queue() {
+        let mut d = small();
+        let a = d.request(0, 0, false); // bank 0
+        let b = d.request(2, 0, false); // bank 0 again
+        assert_eq!(a.complete_at, 110);
+        // Second waits 50 cycles for the bank, then bus is free by then.
+        assert_eq!(b.queue_delay, 50);
+        assert_eq!(b.complete_at, 50 + 100 + 10);
+    }
+
+    #[test]
+    fn different_banks_overlap_but_share_bus() {
+        let mut d = small();
+        let a = d.request(0, 0, false); // bank 0
+        let b = d.request(1, 0, false); // bank 1
+        assert_eq!(a.complete_at, 110);
+        // Device accesses overlap fully; bus serializes the bursts.
+        assert_eq!(b.complete_at, 120);
+        assert_eq!(b.queue_delay, 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = small();
+        d.request(0, 0, false);
+        d.request(1, 0, true);
+        let s = d.stats();
+        assert_eq!(s.demand_accesses, 1);
+        assert_eq!(s.prefetch_accesses, 1);
+        assert_eq!(s.total_accesses(), 2);
+        assert_eq!(s.bus_busy_cycles, 20);
+        assert!((s.bpki(1000) - 2.0).abs() < 1e-12);
+        assert!(s.utilization(100) > 0.19);
+        assert_eq!(s.first_request_at, Some(0));
+    }
+
+    #[test]
+    fn reset_stats_keeps_queue_state() {
+        let mut d = small();
+        d.request(0, 0, false);
+        d.reset_stats();
+        assert_eq!(d.stats().total_accesses(), 0);
+        // Bank 0 is still busy until cycle 50.
+        let r = d.request(0, 0, false);
+        assert_eq!(r.queue_delay, 50);
+    }
+
+    #[test]
+    fn demand_has_priority_over_prefetch() {
+        let mut d = small();
+        // A burst of prefetches to bank 0 and the bus.
+        for _ in 0..4 {
+            d.request(0, 0, true);
+        }
+        // A demand request to the same bank is not delayed by them.
+        let r = d.request(0, 0, false);
+        assert_eq!(r.queue_delay, 0, "demand must preempt prefetch occupancy");
+        // But a new prefetch waits behind everything.
+        let p = d.request(0, 0, true);
+        assert!(p.queue_delay > 100, "prefetch queue delay {}", p.queue_delay);
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let mut d = small();
+        for i in 0..100 {
+            d.request(i, 0, false);
+        }
+        assert_eq!(d.stats().utilization(10), 1.0);
+        assert_eq!(d.stats().utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! DRAM and memory-controller models for the DROPLET reproduction.
+//!
+//! The paper's baseline (Table I) models a DDR3 part with a 45 ns device
+//! access latency and queue delay. [`Dram`] is a bank-and-bus queueing model
+//! producing completion times, queue delays, bandwidth-utilization and BPKI
+//! statistics (Fig. 3a, Fig. 15). [`Mrb`] is the memory-request buffer with
+//! the reinterpreted C-bit and the added core-ID field (Section V-C1) that
+//! lets the MC recognize structure prefetch fills and route copies to the
+//! MPP.
+//!
+//! # Example
+//!
+//! ```
+//! use droplet_mem::{Dram, DramConfig};
+//! let mut dram = Dram::new(DramConfig::ddr3());
+//! let r = dram.request(0x40, 100, false);
+//! assert!(r.complete_at >= 100 + 120);
+//! ```
+
+pub mod dram;
+pub mod mrb;
+
+pub use dram::{Dram, DramConfig, DramResponse, DramStats};
+pub use mrb::{Mrb, MrbEntry};

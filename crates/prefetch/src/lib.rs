@@ -1,0 +1,32 @@
+//! Prefetch engines for the DROPLET reproduction — every configuration the
+//! paper evaluates (Section VII-A, Table V):
+//!
+//! - [`StreamPrefetcher`] — the conventional L2 streamer (snoops all L1 miss
+//!   addresses) and, in data-aware mode, DROPLET's structure-only streamer
+//!   that also trains on L2 structure hits and inserts its requests into the
+//!   L3 request queue (Fig. 9).
+//! - [`GhbPrefetcher`] — the G/DC (global / delta-correlation) global
+//!   history buffer prefetcher.
+//! - [`VldpPrefetcher`] — the Variable Length Delta Prefetcher.
+//! - [`Mpp`] — DROPLET's memory-controller-based property prefetcher with
+//!   its PAG / VAB / MTLB / PAB pipeline (Fig. 10). `MPP1` (the variant that
+//!   recognizes structure lines without the C-bit) and the monolithic-L1
+//!   arrangement are wiring choices made by the system crate.
+//!
+//! All engines observe [`AccessEvent`]s and append [`PrefetchRequest`]s to a
+//! caller-provided buffer; they are purely reactive and hold no references
+//! to the memory system.
+
+pub mod event;
+pub mod ghb;
+pub mod mpp;
+pub mod nextline;
+pub mod stream;
+pub mod vldp;
+
+pub use event::{AccessEvent, EventKind, PrefetchRequest, Prefetcher};
+pub use ghb::{GhbConfig, GhbPrefetcher};
+pub use mpp::{Mpp, MppCandidate, MppConfig, MppStats, PropertyTarget};
+pub use nextline::NextLinePrefetcher;
+pub use stream::{StreamConfig, StreamPrefetcher};
+pub use vldp::{VldpConfig, VldpPrefetcher};

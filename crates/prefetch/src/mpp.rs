@@ -1,0 +1,472 @@
+//! The memory-controller-based property prefetcher (MPP) — Fig. 10 and
+//! Section V-C2/V-C3.
+//!
+//! When a structure prefetch arrives from DRAM (recognized via the MRB's
+//! C-bit, or by address range in the `MPP1` variant), a copy of the line is
+//! handed to the MPP. The property address generator (PAG) scans it for
+//! neighbor IDs, computes target virtual addresses as
+//! `property_address = base + elem_bytes × neighbor_id` (the paper's
+//! Eq. (1)), buffers them in the VAB, translates them through the
+//! near-memory MTLB (page-walking on a miss; *dropping* the prefetch on a
+//! page fault), buffers the physical addresses in the PAB, and finally
+//! checks the coherence engine so on-chip lines are copied from the LLC into
+//! the requesting core's L2 instead of re-fetched from DRAM.
+
+use droplet_trace::{Cycle, FunctionalMemory, PageTable, Tlb, VirtAddr, LINE_BYTES};
+
+/// MPP parameters (paper Table V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MppConfig {
+    /// FIFO virtual-address-buffer capacity.
+    pub vab_entries: usize,
+    /// FIFO physical-address-buffer capacity.
+    pub pab_entries: usize,
+    /// Near-memory TLB entries.
+    pub mtlb_entries: usize,
+    /// PAG address-generation latency (cycles).
+    pub pag_latency: Cycle,
+    /// Coherence-engine checking overhead (cycles).
+    pub coherence_latency: Cycle,
+    /// Page-walk latency charged on an MTLB miss (cycles).
+    pub mtlb_walk_latency: Cycle,
+}
+
+impl MppConfig {
+    /// The Table V configuration: 2-cycle PAG, 512-entry VAB and PAB,
+    /// 128-entry MTLB, 10-cycle coherence check.
+    pub fn paper() -> Self {
+        MppConfig {
+            vab_entries: 512,
+            pab_entries: 512,
+            mtlb_entries: 128,
+            pag_latency: 2,
+            coherence_latency: 10,
+            mtlb_walk_latency: 40,
+        }
+    }
+
+    /// Storage footprint of the MPP's buffers, mirroring Section V-D's
+    /// claim that the VAB, PAB and MTLB total ≈7.7 KB.
+    pub fn storage_bytes(&self) -> u64 {
+        // VAB: 48-bit virtual line address + 2-bit core ID ≈ 7 B/entry.
+        // PAB: 48-bit physical line address + 2-bit core ID ≈ 7 B/entry.
+        // MTLB: tag + frame + bits ≈ 13 B/entry.
+        (self.vab_entries as u64 * 7) + (self.pab_entries as u64 * 7) + (self.mtlb_entries as u64 * 13)
+    }
+}
+
+/// A property prefetch produced by the MPP, ready for the coherence check
+/// and (if off-chip) the DRAM queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MppCandidate {
+    /// Virtual line of the property data.
+    pub vline: u64,
+    /// Physical line after MTLB translation.
+    pub pline: u64,
+    /// Destination core whose private L2 receives the line.
+    pub core: u8,
+    /// Earliest cycle the request can leave the MC (PAG + MTLB + coherence
+    /// pipeline latencies).
+    pub ready_at: Cycle,
+}
+
+/// MPP occupancy and drop statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MppStats {
+    /// Structure cachelines scanned by the PAG.
+    pub lines_scanned: u64,
+    /// Neighbor IDs seen across scans.
+    pub ids_scanned: u64,
+    /// Candidates produced (post dedup, bounds, translation).
+    pub candidates: u64,
+    /// Drops because the VAB/PAB occupancy model was full.
+    pub buffer_drops: u64,
+    /// Drops because the property page was unmapped (page fault policy).
+    pub page_fault_drops: u64,
+    /// Neighbor IDs outside the property array bounds.
+    pub out_of_bounds: u64,
+    /// MTLB misses that required a page walk.
+    pub mtlb_walks: u64,
+}
+
+/// One property array the MPP prefetches from (Section VI: multi-property
+/// graphs map one scanned neighbor ID to several property arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyTarget {
+    /// Base virtual address of the array (the software-written register).
+    pub base: VirtAddr,
+    /// Element size in bytes (4 or 8).
+    pub elem_bytes: u64,
+    /// Number of elements (bounds for valid neighbor IDs).
+    pub len: u64,
+}
+
+/// The MC-side property prefetcher.
+///
+/// The software-written registers (Section VI) are the property array base
+/// addresses — one per [`PropertyTarget`] — and the structure scan
+/// granularity, which lives in the [`FunctionalMemory`] implementation the
+/// workload provides.
+#[derive(Debug)]
+pub struct Mpp {
+    cfg: MppConfig,
+    /// Registers: the property arrays to prefetch per scanned neighbor ID.
+    targets: Vec<PropertyTarget>,
+    mtlb: Tlb,
+    /// Outstanding candidates occupying VAB+PAB slots.
+    outstanding: usize,
+    stats: MppStats,
+}
+
+impl Mpp {
+    /// Creates an MPP with its software-visible registers programmed for a
+    /// property array of `prop_len` elements of `prop_elem_bytes` at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop_elem_bytes` is not 4 or 8.
+    pub fn new(cfg: MppConfig, base: VirtAddr, prop_elem_bytes: u64, prop_len: u64) -> Self {
+        Self::new_multi(
+            cfg,
+            vec![PropertyTarget {
+                base,
+                elem_bytes: prop_elem_bytes,
+                len: prop_len,
+            }],
+        )
+    }
+
+    /// Creates an MPP prefetching several property arrays per scanned
+    /// neighbor ID (Section VI: multi-property graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or any element size is not 4 or 8.
+    pub fn new_multi(cfg: MppConfig, targets: Vec<PropertyTarget>) -> Self {
+        assert!(!targets.is_empty(), "the MPP needs at least one property array");
+        for t in &targets {
+            assert!(
+                t.elem_bytes == 4 || t.elem_bytes == 8,
+                "property elements are 4 or 8 bytes"
+            );
+        }
+        Mpp {
+            mtlb: Tlb::new(cfg.mtlb_entries),
+            cfg,
+            targets,
+            outstanding: 0,
+            stats: MppStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MppConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MppStats {
+        &self.stats
+    }
+
+    /// Resets statistics (end of cache warm-up); MTLB contents persist.
+    pub fn reset_stats(&mut self) {
+        self.stats = MppStats::default();
+    }
+
+    /// Reacts to a structure prefetch line arriving at the MC at `now`:
+    /// scans it, generates translated property prefetch candidates, and
+    /// appends them to `out`.
+    ///
+    /// `fm` supplies the line's functional contents; `pt` is consulted
+    /// (without populating) for MTLB walks — an unmapped page is a fault
+    /// and the candidate is dropped.
+    pub fn on_structure_fill(
+        &mut self,
+        vline: u64,
+        core: u8,
+        fm: &dyn FunctionalMemory,
+        pt: &PageTable,
+        now: Cycle,
+        out: &mut Vec<MppCandidate>,
+    ) {
+        self.stats.lines_scanned += 1;
+        let line_addr = VirtAddr::new(vline * LINE_BYTES);
+        let ids = fm.neighbor_ids_in_line(line_addr);
+        self.stats.ids_scanned += ids.len() as u64;
+
+        // One structure line can reference the same property line several
+        // times; dedupe per scan like real hardware coalescing would.
+        let mut seen_lines: Vec<u64> = Vec::with_capacity(ids.len());
+        let targets = self.targets.clone();
+        for (id, target) in ids
+            .iter()
+            .flat_map(|&id| targets.iter().map(move |t| (id, *t)))
+        {
+            if u64::from(id) >= target.len {
+                self.stats.out_of_bounds += 1;
+                continue;
+            }
+            let vaddr = target.base.add_bytes(u64::from(id) * target.elem_bytes);
+            let cand_vline = vaddr.line_index();
+            if seen_lines.contains(&cand_vline) {
+                continue;
+            }
+            seen_lines.push(cand_vline);
+
+            if self.outstanding >= self.cfg.vab_entries + self.cfg.pab_entries {
+                self.stats.buffer_drops += 1;
+                continue;
+            }
+
+            // MTLB translation; page-walk on miss, drop on fault.
+            let vpn = vaddr.page_number();
+            let mut latency = self.cfg.pag_latency + self.cfg.coherence_latency;
+            let entry = match self.mtlb.probe(vpn) {
+                Some(e) => {
+                    // Refresh LRU through the access path.
+                    self.mtlb.access(vpn, || e);
+                    e
+                }
+                None => {
+                    let Some(e) = pt.lookup(vaddr) else {
+                        self.stats.page_fault_drops += 1;
+                        continue;
+                    };
+                    self.stats.mtlb_walks += 1;
+                    latency += self.cfg.mtlb_walk_latency;
+                    self.mtlb.access(vpn, || e);
+                    e
+                }
+            };
+            let pline = (entry.frame * droplet_trace::PAGE_BYTES + vaddr.page_offset()) / LINE_BYTES;
+
+            self.outstanding += 1;
+            self.stats.candidates += 1;
+            out.push(MppCandidate {
+                vline: cand_vline,
+                pline,
+                core,
+                ready_at: now + latency,
+            });
+        }
+    }
+
+    /// Releases the VAB/PAB slot of a completed (or cancelled) candidate.
+    pub fn on_candidate_complete(&mut self) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    /// TLB-shootdown hook (Section V-C3): invalidates MTLB entries using
+    /// only the core-side invalidations whose extra bit is 0 — the MTLB
+    /// holds property mappings exclusively, so structure-page shootdowns
+    /// can be skipped entirely. Returns the number of entries dropped.
+    pub fn shootdown_page(&mut self, vpn: u64, page_is_structure: bool) -> bool {
+        if page_is_structure {
+            return false; // optimization: never relevant to the MTLB
+        }
+        self.mtlb.invalidate(vpn)
+    }
+
+    /// Outstanding VAB/PAB occupancy (for tests and debugging).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplet_trace::{AddressSpace, DataType};
+
+    /// A little world: a structure array of n neighbor IDs and a property
+    /// array, with a page table populated for the property range.
+    struct World {
+        space: AddressSpace,
+        neighbors: droplet_trace::ArrayRegion,
+        prop_base: VirtAddr,
+        ids: Vec<u32>,
+        pt: PageTable,
+    }
+
+    struct Image<'a> {
+        w: &'a World,
+    }
+
+    impl FunctionalMemory for Image<'_> {
+        fn neighbor_id_at(&self, addr: VirtAddr) -> Option<u32> {
+            let i = self.w.neighbors.index_of(addr)?;
+            if addr.raw() % 4 != 0 {
+                return None;
+            }
+            self.w.ids.get(i as usize).copied()
+        }
+
+        fn scan_granularity(&self) -> u64 {
+            4
+        }
+    }
+
+    fn world(ids: Vec<u32>, prop_len: u64, map_property: bool) -> World {
+        let mut space = AddressSpace::new();
+        let neighbors =
+            space.alloc_array("neighbors", DataType::Structure, 4, ids.len().max(1) as u64);
+        let prop = space.alloc_array("prop", DataType::Property, 4, prop_len);
+        let mut pt = PageTable::new();
+        if map_property {
+            let mut a = prop.base();
+            while a < prop.region().end() {
+                pt.translate(a, &space);
+                a = a.add_bytes(droplet_trace::PAGE_BYTES);
+            }
+        }
+        World {
+            prop_base: prop.base(),
+            space,
+            neighbors,
+            ids,
+            pt,
+        }
+    }
+
+    fn mpp_for(w: &World, prop_len: u64) -> Mpp {
+        Mpp::new(MppConfig::paper(), w.prop_base, 4, prop_len)
+    }
+
+    #[test]
+    fn scans_line_and_generates_translated_candidates() {
+        let w = world(vec![1, 100, 300, 100], 1024, true);
+        let mut mpp = mpp_for(&w, 1024);
+        let mut out = Vec::new();
+        let vline = w.neighbors.base().line_index();
+        mpp.on_structure_fill(vline, 2, &Image { w: &w }, &w.pt, 1000, &mut out);
+        // IDs 1,100,300 → distinct property lines; duplicate 100 coalesced.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|c| c.core == 2));
+        // First candidate walked the MTLB: latency includes the walk.
+        assert!(out[0].ready_at >= 1000 + 2 + 10);
+        assert_eq!(mpp.stats().ids_scanned, 4);
+        assert_eq!(mpp.stats().candidates, 3);
+        assert_eq!(mpp.outstanding(), 3);
+        // Physical translation is consistent with the page table.
+        let expect_vaddr = w.prop_base.add_bytes(4);
+        assert_eq!(out[0].vline, expect_vaddr.line_index());
+    }
+
+    #[test]
+    fn page_fault_drops_the_prefetch() {
+        let w = world(vec![5], 1024, false); // property pages unmapped
+        let mut mpp = mpp_for(&w, 1024);
+        let mut out = Vec::new();
+        mpp.on_structure_fill(
+            w.neighbors.base().line_index(),
+            0,
+            &Image { w: &w },
+            &w.pt,
+            0,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(mpp.stats().page_fault_drops, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_ids_are_skipped() {
+        let w = world(vec![9999], 16, true);
+        let mut mpp = mpp_for(&w, 16);
+        let mut out = Vec::new();
+        mpp.on_structure_fill(
+            w.neighbors.base().line_index(),
+            0,
+            &Image { w: &w },
+            &w.pt,
+            0,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(mpp.stats().out_of_bounds, 1);
+    }
+
+    #[test]
+    fn buffer_occupancy_bounds_outstanding_prefetches() {
+        let ids: Vec<u32> = (0..16).map(|i| i * 16).collect(); // 16 distinct lines
+        let w = world(ids, 4096, true);
+        let mut mpp = Mpp::new(
+            MppConfig {
+                vab_entries: 2,
+                pab_entries: 2,
+                ..MppConfig::paper()
+            },
+            w.prop_base,
+            4,
+            4096,
+        );
+        let mut out = Vec::new();
+        mpp.on_structure_fill(
+            w.neighbors.base().line_index(),
+            0,
+            &Image { w: &w },
+            &w.pt,
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(mpp.stats().buffer_drops, 12);
+        // Draining slots allows new candidates again.
+        for _ in 0..4 {
+            mpp.on_candidate_complete();
+        }
+        assert_eq!(mpp.outstanding(), 0);
+    }
+
+    #[test]
+    fn mtlb_hit_avoids_walk_latency() {
+        let w = world(vec![0, 1], 1024, true);
+        let mut mpp = mpp_for(&w, 1024);
+        let mut out = Vec::new();
+        let vline = w.neighbors.base().line_index();
+        mpp.on_structure_fill(vline, 0, &Image { w: &w }, &w.pt, 0, &mut out);
+        // ids 0 and 1 share a property line → one candidate with a walk.
+        assert_eq!(out.len(), 1);
+        assert_eq!(mpp.stats().mtlb_walks, 1);
+        let walked = out[0].ready_at;
+        // Scan again: the mapping is now cached.
+        out.clear();
+        mpp.on_structure_fill(vline, 0, &Image { w: &w }, &w.pt, 0, &mut out);
+        assert_eq!(mpp.stats().mtlb_walks, 1);
+        assert!(out[0].ready_at < walked);
+    }
+
+    #[test]
+    fn shootdown_skips_structure_pages() {
+        let w = world(vec![3], 1024, true);
+        let mut mpp = mpp_for(&w, 1024);
+        let mut out = Vec::new();
+        mpp.on_structure_fill(
+            w.neighbors.base().line_index(),
+            0,
+            &Image { w: &w },
+            &w.pt,
+            0,
+            &mut out,
+        );
+        let prop_vpn = w.prop_base.page_number();
+        assert!(!mpp.shootdown_page(prop_vpn, true), "structure shootdowns skipped");
+        assert!(mpp.shootdown_page(prop_vpn, false));
+        assert!(!mpp.shootdown_page(prop_vpn, false), "already gone");
+        let _ = &w.space;
+    }
+
+    #[test]
+    fn storage_matches_paper_ballpark() {
+        let bytes = MppConfig::paper().storage_bytes();
+        // Section V-D: ≈7.7 KB.
+        assert!((7_000..9_000).contains(&bytes), "{bytes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "4 or 8")]
+    fn rejects_weird_property_granularity() {
+        let _ = Mpp::new(MppConfig::paper(), VirtAddr::new(0), 16, 10);
+    }
+}

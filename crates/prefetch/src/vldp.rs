@@ -1,0 +1,358 @@
+//! The Variable Length Delta Prefetcher (Shevgoor et al. [38]) — the
+//! paper's `VLDP` comparison point. Per Table V: a DRB tracking the last 64
+//! pages, a 64-entry OPT (offset prediction table), and 3 cascaded 64-entry
+//! DPTs (delta prediction tables keyed by delta histories of length 1–3,
+//! longest match wins).
+
+use crate::event::{AccessEvent, EventKind, PrefetchRequest, Prefetcher};
+use droplet_trace::{LINE_BYTES, PAGE_BYTES};
+use std::collections::HashMap;
+
+/// VLDP parameters (paper Table V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VldpConfig {
+    /// Pages tracked by the delta-history buffer.
+    pub drb_pages: usize,
+    /// Offset-prediction-table entries (one per possible first offset).
+    pub opt_entries: usize,
+    /// Entries per delta prediction table.
+    pub dpt_entries: usize,
+    /// Number of cascaded DPTs (history lengths 1..=levels).
+    pub levels: usize,
+    /// Predictions issued per trigger (cascaded).
+    pub degree: usize,
+}
+
+impl VldpConfig {
+    /// The Table V configuration.
+    pub fn paper() -> Self {
+        VldpConfig {
+            drb_pages: 64,
+            opt_entries: 64,
+            dpt_entries: 64,
+            levels: 3,
+            degree: 2,
+        }
+    }
+}
+
+/// Per-page delta history in the DRB.
+#[derive(Debug, Clone)]
+struct DrbEntry {
+    page: u64,
+    last_offset: i64,
+    first_offset: i64,
+    /// Most recent deltas, oldest first (≤ `levels`).
+    history: Vec<i64>,
+    accesses: u64,
+    lru: u64,
+}
+
+/// A bounded LRU map from delta histories to the next delta.
+#[derive(Debug, Clone)]
+struct DeltaTable {
+    capacity: usize,
+    map: HashMap<Vec<i64>, (i64, u64)>, // key -> (next delta, lru)
+}
+
+impl DeltaTable {
+    fn new(capacity: usize) -> Self {
+        DeltaTable {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+        }
+    }
+
+    fn update(&mut self, key: &[i64], next: i64, clock: u64) {
+        if !self.map.contains_key(key) && self.map.len() == self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key.to_vec(), (next, clock));
+    }
+
+    fn predict(&mut self, key: &[i64], clock: u64) -> Option<i64> {
+        let (next, lru) = self.map.get_mut(key)?;
+        *lru = clock;
+        Some(*next)
+    }
+}
+
+/// The VLDP engine.
+///
+/// # Example
+///
+/// ```
+/// use droplet_prefetch::{AccessEvent, EventKind, Prefetcher, VldpConfig, VldpPrefetcher};
+/// use droplet_trace::{DataType, VirtAddr};
+/// let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+/// let mut out = Vec::new();
+/// for i in 0..6u64 {
+///     pf.on_access(&AccessEvent {
+///         vaddr: VirtAddr::new(0x40_0000 + i * 2 * 64), // +2-line stride
+///         kind: EventKind::L1Miss,
+///         is_structure: false,
+///         dtype: DataType::Property,
+///     }, &mut out);
+/// }
+/// assert!(!out.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VldpPrefetcher {
+    cfg: VldpConfig,
+    drb: Vec<DrbEntry>,
+    /// OPT: first line-offset in page → predicted first delta.
+    opt: Vec<Option<i64>>,
+    /// DPTs indexed by history length − 1.
+    dpt: Vec<DeltaTable>,
+    clock: u64,
+    issued: u64,
+}
+
+impl VldpPrefetcher {
+    /// Creates an idle VLDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table capacity or the level count is zero.
+    pub fn new(cfg: VldpConfig) -> Self {
+        assert!(
+            cfg.drb_pages > 0 && cfg.opt_entries > 0 && cfg.dpt_entries > 0 && cfg.levels > 0,
+            "degenerate VLDP config"
+        );
+        VldpPrefetcher {
+            drb: Vec::with_capacity(cfg.drb_pages),
+            opt: vec![None; cfg.opt_entries],
+            dpt: (0..cfg.levels).map(|_| DeltaTable::new(cfg.dpt_entries)).collect(),
+            cfg,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    fn lines_per_page() -> i64 {
+        (PAGE_BYTES / LINE_BYTES) as i64
+    }
+
+    /// Longest-history-first DPT lookup.
+    fn predict(&mut self, history: &[i64]) -> Option<i64> {
+        let clock = self.clock;
+        for len in (1..=history.len().min(self.cfg.levels)).rev() {
+            let key = &history[history.len() - len..];
+            if let Some(d) = self.dpt[len - 1].predict(key, clock) {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    fn emit(&mut self, page: u64, offset: i64, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) -> bool {
+        if offset < 0 || offset >= Self::lines_per_page() {
+            return false;
+        }
+        let lines_per_page = Self::lines_per_page() as u64;
+        out.push(PrefetchRequest {
+            vline: page * lines_per_page + offset as u64,
+            dtype: ev.dtype,
+            into_l3_queue: false,
+        });
+        self.issued += 1;
+        true
+    }
+}
+
+impl Prefetcher for VldpPrefetcher {
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        if ev.kind != EventKind::L1Miss {
+            return;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let page = ev.page();
+        let offset = ev.line_in_page() as i64;
+
+        let idx = self.drb.iter().position(|e| e.page == page);
+        match idx {
+            None => {
+                // First access to the page: consult the OPT.
+                let opt_idx = (offset as usize) % self.cfg.opt_entries;
+                if let Some(d) = self.opt[opt_idx] {
+                    self.emit(page, offset + d, ev, out);
+                }
+                let entry = DrbEntry {
+                    page,
+                    last_offset: offset,
+                    first_offset: offset,
+                    history: Vec::with_capacity(self.cfg.levels),
+                    accesses: 1,
+                    lru: clock,
+                };
+                if self.drb.len() < self.cfg.drb_pages {
+                    self.drb.push(entry);
+                } else {
+                    let victim = self
+                        .drb
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                        .expect("DRB is non-empty");
+                    self.drb[victim] = entry;
+                }
+            }
+            Some(i) => {
+                let (first_offset, accesses, delta, mut history) = {
+                    let e = &mut self.drb[i];
+                    e.lru = clock;
+                    let delta = offset - e.last_offset;
+                    if delta == 0 {
+                        return; // same line again; nothing to learn
+                    }
+                    e.last_offset = offset;
+                    e.accesses += 1;
+                    let h = e.history.clone();
+                    (e.first_offset, e.accesses, delta, h)
+                };
+
+                // Second access trains the OPT for this first-offset class.
+                if accesses == 2 {
+                    let opt_idx = (first_offset as usize) % self.cfg.opt_entries;
+                    self.opt[opt_idx] = Some(delta);
+                }
+
+                // Train every DPT with the observed history → delta pair.
+                for len in 1..=history.len().min(self.cfg.levels) {
+                    let key = history[history.len() - len..].to_vec();
+                    self.dpt[len - 1].update(&key, delta, clock);
+                }
+
+                // Append the new delta to the page's history.
+                history.push(delta);
+                if history.len() > self.cfg.levels {
+                    history.remove(0);
+                }
+                self.drb[i].history = history.clone();
+
+                // Cascaded prediction: walk forward up to `degree` steps.
+                let mut cur = offset;
+                let mut h = history;
+                for _ in 0..self.cfg.degree {
+                    let Some(d) = self.predict(&h) else { break };
+                    cur += d;
+                    if !self.emit(page, cur, ev, out) {
+                        break;
+                    }
+                    h.push(d);
+                    if h.len() > self.cfg.levels {
+                        h.remove(0);
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "vldp"
+    }
+
+    fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplet_trace::{DataType, VirtAddr};
+
+    fn miss(page: u64, offset: u64) -> AccessEvent {
+        AccessEvent {
+            vaddr: VirtAddr::new(page * PAGE_BYTES + offset * LINE_BYTES),
+            kind: EventKind::L1Miss,
+            is_structure: false,
+            dtype: DataType::Property,
+        }
+    }
+
+    fn drive(pf: &mut VldpPrefetcher, accesses: &[(u64, u64)]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &(p, o) in accesses {
+            pf.on_access(&miss(p, o), &mut out);
+        }
+        out.iter().map(|r| r.vline).collect()
+    }
+
+    #[test]
+    fn constant_stride_is_learned_within_a_page() {
+        let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+        let got = drive(&mut pf, &[(9, 0), (9, 2), (9, 4), (9, 6)]);
+        // After training the +2 delta, predictions run ahead: 8, 10, …
+        assert!(got.contains(&(9 * 64 + 8)), "{got:?}");
+    }
+
+    #[test]
+    fn longer_histories_win_over_shorter() {
+        let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+        // Pattern per page: +1, +3 alternating. History [1,3] → 1, [3,1] → 3.
+        drive(&mut pf, &[(1, 0), (1, 1), (1, 4), (1, 5), (1, 8), (1, 9)]);
+        // New page replays the same pattern; after (2,0),(2,1),(2,4) the
+        // history [1,3] should predict +1 → offset 5 (not the DPT-1 answer).
+        let got = drive(&mut pf, &[(2, 0), (2, 1), (2, 4)]);
+        assert!(got.contains(&(2 * 64 + 5)), "{got:?}");
+    }
+
+    #[test]
+    fn opt_predicts_on_first_access_of_a_new_page() {
+        let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+        // Page 5: first offset 0, then +4 → trains OPT[0] = +4.
+        drive(&mut pf, &[(5, 0), (5, 4)]);
+        // Fresh page first-touched at offset 0 predicts offset 4 immediately.
+        let got = drive(&mut pf, &[(6, 0)]);
+        assert_eq!(got, vec![6 * 64 + 4]);
+    }
+
+    #[test]
+    fn predictions_never_cross_page_bounds() {
+        let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+        let got = drive(&mut pf, &[(3, 59), (3, 61), (3, 63)]);
+        assert!(got.iter().all(|&l| l / 64 == 3), "{got:?}");
+        assert!(got.iter().all(|&l| l % 64 < 64));
+    }
+
+    #[test]
+    fn drb_capacity_bounded_by_lru() {
+        let mut pf = VldpPrefetcher::new(VldpConfig {
+            drb_pages: 2,
+            ..VldpConfig::paper()
+        });
+        drive(&mut pf, &[(1, 0), (2, 0), (3, 0)]);
+        assert_eq!(pf.drb.len(), 2);
+        assert!(pf.drb.iter().all(|e| e.page != 1));
+    }
+
+    #[test]
+    fn irregular_deltas_yield_poor_predictions() {
+        let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+        let got = drive(
+            &mut pf,
+            &[(7, 0), (7, 13), (7, 5), (7, 40), (7, 22), (7, 61)],
+        );
+        // Nothing repeats, so at most stale-history noise comes out.
+        assert!(got.len() <= 2, "{got:?}");
+    }
+
+    #[test]
+    fn same_line_repeat_is_ignored() {
+        let mut pf = VldpPrefetcher::new(VldpConfig::paper());
+        let got = drive(&mut pf, &[(8, 3), (8, 3), (8, 3)]);
+        assert!(got.is_empty());
+        assert_eq!(pf.issued(), 0);
+        assert_eq!(pf.name(), "vldp");
+    }
+}

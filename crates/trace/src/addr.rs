@@ -1,0 +1,185 @@
+//! Address newtypes and geometry constants for the simulated machine.
+//!
+//! The simulated machine uses 64 B cachelines and 4 KiB pages, matching the
+//! paper's baseline architecture (Table I) and the x86-64 hierarchical paging
+//! scheme discussed in the hardware-overhead analysis (Section V-D).
+
+/// Bytes per cacheline in the simulated hierarchy.
+pub const LINE_BYTES: u64 = 64;
+/// Bytes per virtual-memory page.
+pub const PAGE_BYTES: u64 = 4096;
+/// Cachelines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+/// A virtual address in the simulated application address space.
+///
+/// Virtual addresses are what the traced workloads emit, what the prefetcher
+/// training logic observes (stream trackers are page-bounded in virtual
+/// space), and what the MPP's property-address generator produces before
+/// MTLB translation.
+///
+/// # Example
+///
+/// ```
+/// use droplet_trace::VirtAddr;
+/// let a = VirtAddr::new(0x1000_0040);
+/// assert_eq!(a.line_index(), 0x1000_0040 / 64);
+/// assert_eq!(a.page_number(), 0x1000_0040 / 4096);
+/// assert_eq!(a.line_base().raw(), 0x1000_0040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The index of the cacheline holding this address.
+    pub const fn line_index(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+
+    /// The address of the first byte of the containing cacheline.
+    pub const fn line_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(LINE_BYTES - 1))
+    }
+
+    /// The virtual page number holding this address.
+    pub const fn page_number(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Byte offset within the containing cacheline.
+    pub const fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn add_bytes(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// A physical address produced by page-table translation.
+///
+/// The cache hierarchy and the DRAM bank mapping are physically addressed;
+/// the memory-request buffer (MRB) in the memory controller records physical
+/// line addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The index of the physical cacheline holding this address.
+    pub const fn line_index(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+
+    /// The physical frame number holding this address.
+    pub const fn frame_number(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_geometry() {
+        let a = VirtAddr::new(4096 + 65);
+        assert_eq!(a.line_index(), (4096 + 65) / 64);
+        assert_eq!(a.line_base().raw(), 4096 + 64);
+        assert_eq!(a.line_offset(), 1);
+        assert_eq!(a.page_number(), 1);
+        assert_eq!(a.page_offset(), 65);
+    }
+
+    #[test]
+    fn lines_per_page_constant() {
+        assert_eq!(LINES_PER_PAGE, 64);
+    }
+
+    #[test]
+    fn add_bytes_advances() {
+        let a = VirtAddr::new(100);
+        assert_eq!(a.add_bytes(28).raw(), 128);
+    }
+
+    #[test]
+    fn phys_geometry() {
+        let p = PhysAddr::new(2 * 4096 + 130);
+        assert_eq!(p.frame_number(), 2);
+        assert_eq!(p.line_index(), (2 * 4096 + 130) / 64);
+        assert_eq!(p.page_offset(), 130);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtAddr::new(0x40).to_string(), "v:0x40");
+        assert_eq!(PhysAddr::new(0x40).to_string(), "p:0x40");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VirtAddr::from(7u64).raw(), 7);
+        assert_eq!(PhysAddr::from(7u64).raw(), 7);
+    }
+}

@@ -1,0 +1,87 @@
+//! Functional-memory access for the MPP's property-address generator.
+//!
+//! When a prefetched structure cacheline arrives from DRAM, the PAG scans it
+//! for neighbor IDs (paper Fig. 10). In the simulator the line's *contents*
+//! are recovered functionally: the workload that owns the address space can
+//! map any structure-region cacheline back to the CSR slice it holds.
+
+use crate::addr::{VirtAddr, LINE_BYTES};
+
+/// Read access to the simulated memory image at element granularity.
+///
+/// Implemented by the workload layer (which owns the graph arrays). Only the
+/// structure region needs to be readable — the MPP never inspects property
+/// bytes — but implementations may expose more.
+pub trait FunctionalMemory {
+    /// Reads the neighbor ID stored at `addr`, or `None` if `addr` is not a
+    /// valid, element-aligned location inside the structure region.
+    ///
+    /// For weighted graphs each structure element is 8 bytes (ID + weight)
+    /// and implementations return the ID half.
+    fn neighbor_id_at(&self, addr: VirtAddr) -> Option<u32>;
+
+    /// The size in bytes of one structure element: 4 for unweighted graphs,
+    /// 8 for weighted ones (the MPP's scan-granularity register, written by
+    /// the specialized `malloc`, Section VI).
+    fn scan_granularity(&self) -> u64;
+
+    /// All neighbor IDs stored in the cacheline containing `line_addr`,
+    /// in element order. At the paper's geometry this yields up to 16 IDs
+    /// (unweighted) or 8 (weighted) per line.
+    fn neighbor_ids_in_line(&self, line_addr: VirtAddr) -> Vec<u32> {
+        let base = line_addr.line_base();
+        let step = self.scan_granularity();
+        let mut out = Vec::with_capacity((LINE_BYTES / step) as usize);
+        let mut off = 0;
+        while off < LINE_BYTES {
+            if let Some(id) = self.neighbor_id_at(base.add_bytes(off)) {
+                out.push(id);
+            }
+            off += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy image: structure region at 0x1000, 10 elements of 4 bytes,
+    /// element i holds ID 100 + i.
+    struct Toy;
+
+    impl FunctionalMemory for Toy {
+        fn neighbor_id_at(&self, addr: VirtAddr) -> Option<u32> {
+            let base = 0x1000u64;
+            let raw = addr.raw();
+            if raw < base || raw >= base + 40 || (raw - base) % 4 != 0 {
+                return None;
+            }
+            Some(100 + ((raw - base) / 4) as u32)
+        }
+
+        fn scan_granularity(&self) -> u64 {
+            4
+        }
+    }
+
+    #[test]
+    fn scans_full_line() {
+        let ids = Toy.neighbor_ids_in_line(VirtAddr::new(0x1000));
+        // 10 valid elements in the first line (region ends mid-line).
+        assert_eq!(ids, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_aligns_to_line_base() {
+        let a = Toy.neighbor_ids_in_line(VirtAddr::new(0x1000 + 24));
+        let b = Toy.neighbor_ids_in_line(VirtAddr::new(0x1000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_region_line_is_empty() {
+        assert!(Toy.neighbor_ids_in_line(VirtAddr::new(0x2000)).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Memory operations and the graph data-type taxonomy.
+//!
+//! The paper's characterization (Section II-A) divides all application data
+//! into three types: *structure* (the neighbor-ID array of the CSR),
+//! *property* (the vertex-data array), and *intermediate* (everything else).
+//! Every memory operation in a trace carries its data type plus an optional
+//! producer link encoding the load-load dependency chains that Section IV
+//! identifies as the MLP bottleneck.
+
+use crate::addr::VirtAddr;
+
+/// A simulation clock value, in core cycles.
+pub type Cycle = u64;
+
+/// The paper's three application data types (Section II-A).
+///
+/// # Example
+///
+/// ```
+/// use droplet_trace::DataType;
+/// assert_eq!(DataType::ALL.len(), 3);
+/// assert_eq!(DataType::Structure.to_string(), "structure");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataType {
+    /// The neighbor-ID array of the CSR (including edge weights when present).
+    Structure,
+    /// The vertex-data array(s), indirectly indexed through structure data.
+    Property,
+    /// Any other data: offsets, worklists, frontiers, bins, stacks.
+    Intermediate,
+}
+
+impl DataType {
+    /// All three data types, in a stable order suitable for table columns.
+    pub const ALL: [DataType; 3] = [
+        DataType::Structure,
+        DataType::Property,
+        DataType::Intermediate,
+    ];
+
+    /// A stable small index (0..3) for per-type stat arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            DataType::Structure => 0,
+            DataType::Property => 1,
+            DataType::Intermediate => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataType::Structure => "structure",
+            DataType::Property => "property",
+            DataType::Intermediate => "intermediate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a memory operation reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand read.
+    Load,
+    /// A demand write (write-allocate in the simulated hierarchy).
+    Store,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        })
+    }
+}
+
+/// Identifier of a memory operation within one trace: its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// The raw trace position.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// Sentinel meaning "no producer" in the compact encoding.
+const NO_PRODUCER: u32 = u32::MAX;
+
+/// One memory operation of a traced workload.
+///
+/// Kept deliberately compact (24 bytes) because perf-scale traces hold
+/// millions of these. The producer link is stored as a backward distance:
+/// `producer_back == 0` means the op has no producer; otherwise the producer
+/// is the op `producer_back` positions earlier in the trace.
+///
+/// # Example
+///
+/// ```
+/// use droplet_trace::{AccessKind, DataType, MemOp, OpId, VirtAddr};
+/// let op = MemOp::new(
+///     VirtAddr::new(0x1000),
+///     AccessKind::Load,
+///     DataType::Property,
+///     Some(OpId(5)),
+///     OpId(9),
+///     3,
+/// );
+/// assert_eq!(op.producer(OpId(9)), Some(OpId(5)));
+/// assert_eq!(op.pre_compute(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    addr: VirtAddr,
+    /// Backward distance to the producer op; `NO_PRODUCER` if independent.
+    producer_back: u32,
+    /// Number of non-memory instructions executed just before this op.
+    pre_compute: u16,
+    kind: AccessKind,
+    dtype: DataType,
+}
+
+impl MemOp {
+    /// Creates an op at trace position `id` with an optional `producer`
+    /// (an earlier op this op's address depends on) and `pre_compute`
+    /// non-memory instructions preceding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer` is not strictly earlier than `id`, or farther
+    /// than `u32::MAX - 1` ops back.
+    pub fn new(
+        addr: VirtAddr,
+        kind: AccessKind,
+        dtype: DataType,
+        producer: Option<OpId>,
+        id: OpId,
+        pre_compute: u16,
+    ) -> Self {
+        let producer_back = match producer {
+            None => NO_PRODUCER,
+            Some(p) => {
+                assert!(p.0 < id.0, "producer {p} must precede op {id}");
+                let back = id.0 - p.0;
+                assert!(back < u64::from(NO_PRODUCER), "producer too far back");
+                back as u32
+            }
+        };
+        MemOp {
+            addr,
+            producer_back,
+            pre_compute,
+            kind,
+            dtype,
+        }
+    }
+
+    /// The virtual address accessed.
+    pub const fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// Load or store.
+    pub const fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Returns `true` for loads.
+    pub const fn is_load(&self) -> bool {
+        matches!(self.kind, AccessKind::Load)
+    }
+
+    /// The graph data type of the accessed address.
+    pub const fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// The producer op this op's *address* depends on, given this op's own
+    /// trace position `id`.
+    pub fn producer(&self, id: OpId) -> Option<OpId> {
+        if self.producer_back == NO_PRODUCER {
+            None
+        } else {
+            Some(OpId(id.0 - u64::from(self.producer_back)))
+        }
+    }
+
+    /// Backward distance to the producer, if any.
+    pub fn producer_back(&self) -> Option<u32> {
+        (self.producer_back != NO_PRODUCER).then_some(self.producer_back)
+    }
+
+    /// Non-memory instructions executed immediately before this op; used for
+    /// instruction counting (MPKI, BPKI, IPC).
+    pub const fn pre_compute(&self) -> u16 {
+        self.pre_compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(producer: Option<OpId>, id: OpId) -> MemOp {
+        MemOp::new(
+            VirtAddr::new(64),
+            AccessKind::Load,
+            DataType::Structure,
+            producer,
+            id,
+            0,
+        )
+    }
+
+    #[test]
+    fn data_type_indices_are_distinct() {
+        let mut seen = [false; 3];
+        for t in DataType::ALL {
+            assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+    }
+
+    #[test]
+    fn producer_roundtrip() {
+        let o = op(Some(OpId(3)), OpId(10));
+        assert_eq!(o.producer(OpId(10)), Some(OpId(3)));
+        assert_eq!(o.producer_back(), Some(7));
+    }
+
+    #[test]
+    fn no_producer() {
+        let o = op(None, OpId(10));
+        assert_eq!(o.producer(OpId(10)), None);
+        assert_eq!(o.producer_back(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn producer_must_precede() {
+        let _ = op(Some(OpId(10)), OpId(10));
+    }
+
+    #[test]
+    fn op_is_compact() {
+        assert!(std::mem::size_of::<MemOp>() <= 24);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+        assert_eq!(OpId(4).to_string(), "op#4");
+        assert_eq!(DataType::Intermediate.to_string(), "intermediate");
+    }
+}

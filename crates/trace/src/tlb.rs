@@ -1,0 +1,201 @@
+//! A small fully-associative LRU TLB model.
+//!
+//! Used twice in the reproduction: as the core-side L1D TLB (whose entries
+//! carry the extra structure bit, Fig. 9(b) ❶) and as the near-memory MTLB
+//! inside the MPP (Section V-C3), which caches only property-page mappings
+//! and participates in shootdowns via [`Tlb::invalidate_matching`].
+
+use crate::page::PageEntry;
+
+/// A fully-associative, true-LRU TLB over virtual page numbers.
+///
+/// # Example
+///
+/// ```
+/// use droplet_trace::{PageEntry, Tlb};
+/// let mut tlb = Tlb::new(2);
+/// let e = PageEntry { frame: 7, structure: false };
+/// assert!(tlb.access(1, || e).is_none()); // cold miss
+/// assert!(tlb.access(1, || e).is_some()); // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    /// MRU at the back. Linear scan is fine at TLB sizes (64–128 entries).
+    entries: Vec<(u64, PageEntry)>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with room for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Looks up `vpn`. On a hit returns the cached entry (refreshing LRU).
+    /// On a miss, calls `walk` to obtain the entry, inserts it (evicting the
+    /// LRU entry if full), and returns `None` so the caller can charge the
+    /// page-walk latency.
+    pub fn access(&mut self, vpn: u64, walk: impl FnOnce() -> PageEntry) -> Option<PageEntry> {
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            self.hits += 1;
+            return Some(e.1);
+        }
+        self.misses += 1;
+        let entry = walk();
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((vpn, entry));
+        None
+    }
+
+    /// Probes without updating LRU or stats.
+    pub fn probe(&self, vpn: u64) -> Option<PageEntry> {
+        self.entries.iter().find(|(v, _)| *v == vpn).map(|(_, e)| *e)
+    }
+
+    /// Invalidates a single page, returning whether it was present.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            self.entries.remove(pos);
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates all entries matching a predicate, returning how many were
+    /// dropped. This models the shootdown optimization of Section V-C3: the
+    /// MTLB caches only property mappings, so during a shootdown it only
+    /// processes invalidations whose TLB extra bit is `0` (non-structure).
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64, &PageEntry) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(v, e)| !pred(*v, e));
+        let dropped = before - self.entries.len();
+        self.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses, invalidations) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Hit rate over all accesses so far, or 0 if never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(frame: u64) -> PageEntry {
+        PageEntry {
+            frame,
+            structure: frame % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut t = Tlb::new(4);
+        assert!(t.access(10, || e(1)).is_none());
+        assert_eq!(t.access(10, || unreachable!()).unwrap().frame, 1);
+        assert_eq!(t.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(2);
+        t.access(1, || e(1));
+        t.access(2, || e(2));
+        t.access(1, || unreachable!()); // refresh 1; 2 becomes LRU
+        t.access(3, || e(3)); // evicts 2
+        assert!(t.probe(1).is_some());
+        assert!(t.probe(2).is_none());
+        assert!(t.probe(3).is_some());
+    }
+
+    #[test]
+    fn invalidate_single() {
+        let mut t = Tlb::new(4);
+        t.access(5, || e(5));
+        assert!(t.invalidate(5));
+        assert!(!t.invalidate(5));
+        assert!(t.probe(5).is_none());
+        assert_eq!(t.stats().2, 1);
+    }
+
+    #[test]
+    fn shootdown_filters_by_structure_bit() {
+        let mut t = Tlb::new(8);
+        for vpn in 0..6 {
+            t.access(vpn, || e(vpn)); // even frames marked structure
+        }
+        // Drop only non-structure entries, like the MTLB shootdown rule.
+        let dropped = t.invalidate_matching(|_, entry| !entry.structure);
+        assert_eq!(dropped, 3);
+        assert_eq!(t.len(), 3);
+        assert!(t.probe(1).is_none());
+        assert!(t.probe(2).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats() {
+        let mut t = Tlb::new(2);
+        t.access(1, || e(1));
+        let before = t.stats();
+        let _ = t.probe(1);
+        let _ = t.probe(9);
+        assert_eq!(t.stats(), before);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut t = Tlb::new(2);
+        assert_eq!(t.hit_rate(), 0.0);
+        t.access(1, || e(1));
+        t.access(1, || unreachable!());
+        assert!((t.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Workload characterization on one dataset: the paper's Section IV
+//! analysis in miniature — cycle stack, instruction-window sensitivity,
+//! load-load dependency chains, and the per-type hierarchy breakdown.
+//!
+//! Run with: `cargo run --release --example characterize`
+
+use droplet::experiments::ExperimentCtx;
+use droplet::report::{pct, Table};
+use droplet::{run_workload, WorkloadSpec};
+use droplet_cpu::analyze_chains;
+use droplet_gap::Algorithm;
+use droplet_graph::Dataset;
+use droplet_trace::DataType;
+
+fn main() {
+    let ctx = ExperimentCtx::small();
+    println!("== data-aware characterization (paper Section IV) ==\n");
+
+    let mut stack_table = Table::new(vec![
+        "workload".into(),
+        "busy".into(),
+        "DRAM stalls".into(),
+        "MLP".into(),
+        "4x-window speedup".into(),
+    ]);
+    let mut chain_table = Table::new(vec![
+        "workload".into(),
+        "loads in chains".into(),
+        "mean len".into(),
+        "struct producer".into(),
+        "prop consumer".into(),
+    ]);
+    let mut usage_table = Table::new(vec![
+        "workload".into(),
+        "type".into(),
+        "L1".into(),
+        "L2".into(),
+        "L3".into(),
+        "DRAM".into(),
+    ]);
+
+    for algorithm in Algorithm::ALL {
+        let spec = WorkloadSpec {
+            algorithm,
+            dataset: Dataset::Kron,
+            scale: ctx.scale,
+        };
+        let bundle = spec.build_trace_with_budget(ctx.budget);
+        let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+        let big = run_workload(&bundle, &ctx.base.clone().with_window_scale(4), ctx.warmup);
+        stack_table.row(vec![
+            spec.label(),
+            pct(base.core.cycle_stack.busy_fraction()),
+            pct(base.core.cycle_stack.dram_fraction()),
+            format!("{:.2}", base.core.mlp.avg_outstanding),
+            format!("{:.3}x", base.core.cycles as f64 / big.core.cycles.max(1) as f64),
+        ]);
+
+        let chains = analyze_chains(&bundle.ops, ctx.base.core.rob);
+        chain_table.row(vec![
+            spec.label(),
+            pct(chains.chained_fraction()),
+            format!("{:.2}", chains.mean_chain_len()),
+            pct(chains.producer_fraction(DataType::Structure)),
+            pct(chains.consumer_fraction(DataType::Property)),
+        ]);
+
+        for dt in DataType::ALL {
+            let b = base.service_breakdown(dt);
+            usage_table.row(vec![
+                spec.label(),
+                dt.to_string(),
+                pct(b[0]),
+                pct(b[1]),
+                pct(b[2]),
+                pct(b[3]),
+            ]);
+        }
+    }
+
+    println!("cycle stacks and window sensitivity (Figs. 1 & 3):");
+    println!("{}", stack_table.render());
+    println!("observation #1/#2: a 4x window buys almost nothing — short");
+    println!("load-load dependency chains bound the MLP, not the ROB.\n");
+
+    println!("dependency chains (Figs. 5 & 6):");
+    println!("{}", chain_table.render());
+    println!("observation #3: property data is the consumer; structure the producer.\n");
+
+    println!("memory hierarchy usage by data type (Fig. 7):");
+    println!("{}", usage_table.render());
+    println!("observation #4/#6: the private L2 services almost nothing; structure");
+    println!("reuse distances exceed the LLC, property lands in LLC + DRAM.");
+}

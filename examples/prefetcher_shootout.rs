@@ -1,0 +1,84 @@
+//! Prefetcher shootout: all six evaluated configurations (paper Section
+//! VII-A) against one workload, printed as a mini Fig. 11 row.
+//!
+//! Run with: `cargo run --release --example prefetcher_shootout [ALGO] [DATASET]`
+//! where ALGO is one of bc/bfs/pr/sssp/cc and DATASET one of
+//! kron/urand/orkut/livejournal/road (defaults: cc kron).
+
+use droplet::experiments::ExperimentCtx;
+use droplet::report::Table;
+use droplet::{run_workload, PrefetcherKind, WorkloadSpec};
+use droplet_gap::Algorithm;
+use droplet_graph::Dataset;
+use droplet_trace::DataType;
+
+fn parse_algo(s: &str) -> Algorithm {
+    match s.to_ascii_lowercase().as_str() {
+        "bc" => Algorithm::Bc,
+        "bfs" => Algorithm::Bfs,
+        "pr" => Algorithm::Pr,
+        "sssp" => Algorithm::Sssp,
+        "cc" => Algorithm::Cc,
+        other => panic!("unknown algorithm {other:?} (want bc/bfs/pr/sssp/cc)"),
+    }
+}
+
+fn parse_dataset(s: &str) -> Dataset {
+    match s.to_ascii_lowercase().as_str() {
+        "kron" => Dataset::Kron,
+        "urand" => Dataset::Urand,
+        "orkut" => Dataset::Orkut,
+        "livejournal" | "lj" => Dataset::LiveJournal,
+        "road" => Dataset::Road,
+        other => panic!("unknown dataset {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let algorithm = args.get(1).map(|s| parse_algo(s)).unwrap_or(Algorithm::Cc);
+    let dataset = args
+        .get(2)
+        .map(|s| parse_dataset(s))
+        .unwrap_or(Dataset::Kron);
+
+    let ctx = ExperimentCtx::small();
+    let spec = WorkloadSpec {
+        algorithm,
+        dataset,
+        scale: ctx.scale,
+    };
+    println!("== prefetcher shootout: {spec} ==");
+    let bundle = spec.build_trace_with_budget(ctx.budget);
+    let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+    println!(
+        "baseline: {} cycles, LLC MPKI {:.1}, BW util {:.1}%\n",
+        base.core.cycles,
+        base.llc_mpki(),
+        100.0 * base.bandwidth_utilization()
+    );
+
+    let mut table = Table::new(vec![
+        "config".into(),
+        "speedup".into(),
+        "L2 hit".into(),
+        "LLC MPKI".into(),
+        "struct acc".into(),
+        "prop acc".into(),
+        "BPKI".into(),
+    ]);
+    for kind in PrefetcherKind::EVALUATED {
+        let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+        table.row(vec![
+            kind.name().into(),
+            format!("{:.2}x", base.core.cycles as f64 / r.core.cycles.max(1) as f64),
+            format!("{:.1}%", 100.0 * r.l2_hit_rate()),
+            format!("{:.1}", r.llc_mpki()),
+            format!("{:.0}%", 100.0 * r.prefetch_accuracy(DataType::Structure)),
+            format!("{:.0}%", 100.0 * r.prefetch_accuracy(DataType::Property)),
+            format!("{:.1}", r.bpki()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper Fig. 11: DROPLET leads on CC/PR/BC/SSSP; streamMPP1 on BFS and road.");
+}

@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: traced workloads equal their reference
+//! implementations, and the full system simulator upholds its structural
+//! invariants end to end.
+
+use droplet::experiments::ExperimentCtx;
+use droplet::{run_workload, PrefetcherKind, SystemConfig, WorkloadSpec};
+use droplet_gap::{bc, bfs, cc, pr, sssp, Algorithm, Digest};
+use droplet_graph::{Dataset, DatasetScale};
+use droplet_trace::DataType;
+use std::sync::Arc;
+
+fn tiny(dataset: Dataset, weighted: bool) -> Arc<droplet_graph::Csr> {
+    Arc::new(if weighted {
+        dataset.build_weighted(DatasetScale::Tiny)
+    } else {
+        dataset.build(DatasetScale::Tiny)
+    })
+}
+
+#[test]
+fn traced_pr_equals_reference_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let g = tiny(dataset, false);
+        let bundle = Algorithm::Pr.trace(&g, u64::MAX);
+        assert!(bundle.completed, "{dataset}: budget must not bind");
+        assert_eq!(
+            bundle.digest,
+            Digest::Floats(pr::reference(&g)),
+            "{dataset}: traced PR diverged"
+        );
+    }
+}
+
+#[test]
+fn traced_bfs_equals_reference_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let g = tiny(dataset, false);
+        let bundle = Algorithm::Bfs.trace(&g, u64::MAX);
+        assert!(bundle.completed);
+        assert_eq!(bundle.digest, Digest::Ints(bfs::reference(&g)), "{dataset}");
+    }
+}
+
+#[test]
+fn traced_cc_equals_reference_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let g = tiny(dataset, false);
+        let bundle = Algorithm::Cc.trace(&g, u64::MAX);
+        assert!(bundle.completed);
+        assert_eq!(bundle.digest, Digest::Ints(cc::reference(&g)), "{dataset}");
+    }
+}
+
+#[test]
+fn traced_sssp_equals_reference_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let g = tiny(dataset, true);
+        let bundle = Algorithm::Sssp.trace(&g, u64::MAX);
+        assert!(bundle.completed);
+        assert_eq!(bundle.digest, Digest::Ints(sssp::reference(&g)), "{dataset}");
+    }
+}
+
+#[test]
+fn traced_bc_equals_reference_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let g = tiny(dataset, false);
+        let bundle = Algorithm::Bc.trace(&g, u64::MAX);
+        assert!(bundle.completed);
+        assert_eq!(bundle.digest, Digest::Floats(bc::reference(&g)), "{dataset}");
+    }
+}
+
+#[test]
+fn every_trace_is_dominated_by_typed_memory_ops() {
+    for algorithm in Algorithm::ALL {
+        let g = tiny(Dataset::Kron, algorithm.needs_weights());
+        let bundle = algorithm.trace(&g, 100_000);
+        assert!(!bundle.is_empty(), "{algorithm}");
+        // Structure and property ops must both be present; loads dominate.
+        let structure = bundle
+            .ops
+            .iter()
+            .filter(|o| o.dtype() == DataType::Structure)
+            .count();
+        let property = bundle
+            .ops
+            .iter()
+            .filter(|o| o.dtype() == DataType::Property)
+            .count();
+        let loads = bundle.ops.iter().filter(|o| o.is_load()).count();
+        assert!(structure > 0 && property > 0, "{algorithm}");
+        assert!(loads * 2 > bundle.len(), "{algorithm}: loads should dominate");
+        assert!(bundle.instructions >= bundle.len() as u64);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let ctx = ExperimentCtx::tiny();
+    let spec = WorkloadSpec {
+        algorithm: Algorithm::Pr,
+        dataset: Dataset::Urand,
+        scale: ctx.scale,
+    };
+    let bundle_a = spec.build_trace_with_budget(ctx.budget);
+    let bundle_b = spec.build_trace_with_budget(ctx.budget);
+    assert_eq!(bundle_a.ops, bundle_b.ops, "trace generation must be deterministic");
+    let cfg = ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet);
+    let a = run_workload(&bundle_a, &cfg, ctx.warmup);
+    let b = run_workload(&bundle_b, &cfg, ctx.warmup);
+    assert_eq!(a.core.cycles, b.core.cycles);
+    assert_eq!(a.dram.total_accesses(), b.dram.total_accesses());
+}
+
+#[test]
+fn hierarchy_counters_are_conserved_across_all_configs() {
+    let ctx = ExperimentCtx::tiny();
+    for algorithm in [Algorithm::Pr, Algorithm::Bfs, Algorithm::Sssp] {
+        let spec = WorkloadSpec {
+            algorithm,
+            dataset: Dataset::Kron,
+            scale: ctx.scale,
+        };
+        let bundle = spec.build_trace_with_budget(ctx.budget);
+        for kind in std::iter::once(PrefetcherKind::None).chain(PrefetcherKind::EVALUATED) {
+            let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+            let l2 = r.l2.expect("baseline config has an L2");
+            assert_eq!(
+                r.l1.demand_misses().total(),
+                l2.demand_accesses.total(),
+                "{algorithm}/{kind}: L1 misses vs L2 accesses"
+            );
+            assert_eq!(
+                l2.demand_misses().total(),
+                r.l3.demand_accesses.total(),
+                "{algorithm}/{kind}: L2 misses vs L3 accesses"
+            );
+            assert_eq!(
+                r.dram.demand_accesses,
+                r.l3.demand_misses().total() + r.sys.writebacks,
+                "{algorithm}/{kind}: DRAM demand accounting"
+            );
+        }
+    }
+}
+
+#[test]
+fn warmup_window_changes_only_statistics_not_behaviour() {
+    let ctx = ExperimentCtx::tiny();
+    let spec = WorkloadSpec {
+        algorithm: Algorithm::Pr,
+        dataset: Dataset::Urand,
+        scale: ctx.scale,
+    };
+    let bundle = spec.build_trace_with_budget(ctx.budget);
+    let cfg = SystemConfig::test_scale().with_prefetcher(PrefetcherKind::Droplet);
+    let warmup = ctx.warmup.min(bundle.ops.len() / 2);
+    let full = run_workload(&bundle, &cfg, 0);
+    let windowed = run_workload(&bundle, &cfg, warmup);
+    // The windowed run measures a suffix of the same execution.
+    assert!(windowed.core.cycles < full.core.cycles);
+    assert!(windowed.core.instructions < full.core.instructions);
+    assert!(windowed.dram.total_accesses() <= full.dram.total_accesses());
+}
+
+#[test]
+fn bc_registers_multi_property_targets_and_mpp_uses_them() {
+    let g = tiny(Dataset::Kron, false);
+    let bundle = Algorithm::Bc.trace(&g, 150_000);
+    assert_eq!(
+        bundle.extra_property_targets.len(),
+        2,
+        "BC must register sigma and delta as extra MPP targets"
+    );
+    let ctx = ExperimentCtx::tiny();
+    let r = run_workload(
+        &bundle,
+        &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+        1_000,
+    );
+    let mpp = r.mpp.expect("DROPLET has an MPP");
+    // With three targets per scanned ID, candidates comfortably exceed the
+    // per-line ID count.
+    assert!(
+        mpp.candidates > mpp.lines_scanned,
+        "candidates {} vs lines {}",
+        mpp.candidates,
+        mpp.lines_scanned
+    );
+}
+
+#[test]
+fn bfs_direction_optimization_creates_structure_streams() {
+    // Bottom-up sweeps scan neighbor lists sequentially; a kron-like graph
+    // must trigger at least one such phase, giving the streamer material.
+    let g = tiny(Dataset::Kron, false);
+    let bundle = Algorithm::Bfs.trace(&g, u64::MAX);
+    let ctx = ExperimentCtx::tiny();
+    let r = run_workload(
+        &bundle,
+        &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+        1_000,
+    );
+    assert!(
+        r.dram.prefetch_accesses > 0,
+        "the data-aware streamer should find structure streams in BFS"
+    );
+}
+
+#[test]
+fn mono_variant_times_property_prefetch_later_than_droplet() {
+    // The decoupled design's whole point: property prefetches issue from
+    // the MC, not after the refill path — DROPLET must not be slower than
+    // the monolithic arrangement on the canonical PR workload.
+    let ctx = ExperimentCtx::tiny();
+    let spec = WorkloadSpec {
+        algorithm: Algorithm::Pr,
+        dataset: Dataset::Kron,
+        scale: ctx.scale,
+    };
+    let bundle = spec.build_trace_with_budget(ctx.budget);
+    let droplet = run_workload(
+        &bundle,
+        &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+        ctx.warmup,
+    );
+    let mono = run_workload(
+        &bundle,
+        &ctx.base.clone().with_prefetcher(PrefetcherKind::MonoDropletL1),
+        ctx.warmup,
+    );
+    assert!(
+        droplet.core.cycles <= mono.core.cycles * 102 / 100,
+        "decoupled {} vs monolithic {}",
+        droplet.core.cycles,
+        mono.core.cycles
+    );
+}

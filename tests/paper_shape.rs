@@ -1,0 +1,227 @@
+//! Shape tests: the paper's qualitative findings must reproduce at test
+//! scale (tiny datasets against the proportionally shrunk hierarchy).
+//! Absolute numbers are not asserted — who wins, in which direction, and
+//! by roughly what kind of margin are.
+
+use droplet::experiments::ExperimentCtx;
+use droplet::{run_workload, PrefetcherKind, RunResult, WorkloadSpec};
+use droplet_cpu::analyze_chains;
+use droplet_gap::Algorithm;
+use droplet_graph::Dataset;
+use droplet_trace::DataType;
+
+fn run(algorithm: Algorithm, dataset: Dataset, kind: PrefetcherKind) -> RunResult {
+    let ctx = ExperimentCtx::tiny();
+    let spec = WorkloadSpec {
+        algorithm,
+        dataset,
+        scale: ctx.scale,
+    };
+    let bundle = spec.build_trace_with_budget(ctx.budget);
+    run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup)
+}
+
+/// Observation of Fig. 1: graph analytics is DRAM-stall dominated.
+#[test]
+fn cycle_stacks_are_memory_bound() {
+    for dataset in [Dataset::Kron, Dataset::Orkut] {
+        let r = run(Algorithm::Pr, dataset, PrefetcherKind::None);
+        let stack = r.core.cycle_stack;
+        assert!(
+            stack.dram_fraction() > 0.3,
+            "PR-{dataset} should be DRAM-bound: {stack}"
+        );
+        assert!(
+            stack.busy_fraction() < 0.5,
+            "PR-{dataset} should not be compute-bound: {stack}"
+        );
+    }
+}
+
+/// Observation #1: a 4× instruction window buys almost nothing.
+#[test]
+fn bigger_window_gains_little() {
+    let ctx = ExperimentCtx::tiny();
+    for algorithm in [Algorithm::Pr, Algorithm::Cc] {
+        let spec = WorkloadSpec {
+            algorithm,
+            dataset: Dataset::Kron,
+            scale: ctx.scale,
+        };
+        let bundle = spec.build_trace_with_budget(ctx.budget);
+        let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+        let big = run_workload(&bundle, &ctx.base.clone().with_window_scale(4), ctx.warmup);
+        let speedup = base.core.cycles as f64 / big.core.cycles.max(1) as f64;
+        // The paper reports +1.44% on average; our lean traces (no
+        // scaffolding instructions) show somewhat more, but quadrupling the
+        // window resources must still yield a disproportionately small win.
+        assert!(
+            speedup < 1.2,
+            "{algorithm}: 4x window speedup {speedup} is too large — chains should bind"
+        );
+    }
+}
+
+/// Observations #2/#3: chains are short, property consumes, structure produces.
+#[test]
+fn dependency_chain_shape() {
+    let ctx = ExperimentCtx::tiny();
+    let mut chained = Vec::new();
+    for algorithm in Algorithm::ALL {
+        let spec = WorkloadSpec {
+            algorithm,
+            dataset: Dataset::Urand,
+            scale: ctx.scale,
+        };
+        let bundle = spec.build_trace_with_budget(ctx.budget);
+        let rep = analyze_chains(&bundle.ops, 128);
+        chained.push(rep.chained_fraction());
+        assert!(
+            rep.mean_chain_len() >= 2.0 && rep.mean_chain_len() < 6.0,
+            "{algorithm}: chains should be short, got {}",
+            rep.mean_chain_len()
+        );
+        assert!(
+            rep.consumer_fraction(DataType::Property) > rep.producer_fraction(DataType::Property),
+            "{algorithm}: property must be mostly a consumer"
+        );
+        assert!(
+            rep.producer_fraction(DataType::Structure) > rep.consumer_fraction(DataType::Structure),
+            "{algorithm}: structure must be mostly a producer"
+        );
+    }
+    // Our traces model only the algorithmically meaningful loads; real
+    // binaries dilute the chained fraction with register-spill and loop
+    // scaffolding loads, which is why the paper reports 43.2% while lean
+    // traces sit higher (recorded in EXPERIMENTS.md).
+    let mean = chained.iter().sum::<f64>() / chained.len() as f64;
+    assert!(
+        (0.25..0.97).contains(&mean),
+        "mean chained fraction {mean} out of plausible range"
+    );
+}
+
+/// Observation #4: the private L2 is nearly useless in the baseline.
+#[test]
+fn baseline_l2_is_underutilized() {
+    let r = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::None);
+    assert!(
+        r.l2_hit_rate() < 0.5,
+        "baseline L2 hit rate {} should be low",
+        r.l2_hit_rate()
+    );
+}
+
+/// Observation #5/#6: property responds to LLC capacity; structure does not.
+#[test]
+fn llc_capacity_helps_property_not_structure() {
+    let ctx = ExperimentCtx::tiny();
+    let spec = WorkloadSpec {
+        algorithm: Algorithm::Pr,
+        dataset: Dataset::Urand,
+        scale: ctx.scale,
+    };
+    let bundle = spec.build_trace_with_budget(ctx.budget);
+    let sweep = ctx.llc_sweep();
+    // Compare the first doubling only: at the top of the tiny sweep the
+    // whole (scaled) structure array fits, which full-size graphs never do.
+    let mut small_cfg = ctx.base.clone();
+    small_cfg.l3 = sweep[0].clone();
+    let mut big_cfg = ctx.base.clone();
+    big_cfg.l3 = sweep[1].clone();
+    let small = run_workload(&bundle, &small_cfg, ctx.warmup);
+    let big = run_workload(&bundle, &big_cfg, ctx.warmup);
+    let prop_gain = small.offchip_fraction(DataType::Property) - big.offchip_fraction(DataType::Property);
+    let struct_gain =
+        small.offchip_fraction(DataType::Structure) - big.offchip_fraction(DataType::Structure);
+    assert!(
+        prop_gain > 0.0,
+        "a larger LLC must reduce property off-chip accesses ({prop_gain})"
+    );
+    assert!(
+        prop_gain + 1e-9 >= struct_gain,
+        "property should benefit at least as much as structure: {prop_gain} vs {struct_gain}"
+    );
+}
+
+/// Fig. 11 directionality: DROPLET wins on the sequential-order algorithms.
+#[test]
+fn droplet_beats_stream_on_cc_and_pr() {
+    for algorithm in [Algorithm::Cc, Algorithm::Pr] {
+        let stream = run(algorithm, Dataset::Kron, PrefetcherKind::Stream);
+        let droplet = run(algorithm, Dataset::Kron, PrefetcherKind::Droplet);
+        assert!(
+            droplet.core.cycles < stream.core.cycles,
+            "{algorithm}: DROPLET {} vs stream {}",
+            droplet.core.cycles,
+            stream.core.cycles
+        );
+    }
+}
+
+/// Fig. 11: every evaluated configuration beats the baseline on CC-kron
+/// (the workload where prefetching helps most).
+#[test]
+fn all_prefetchers_help_cc() {
+    let base = run(Algorithm::Cc, Dataset::Kron, PrefetcherKind::None);
+    for kind in [
+        PrefetcherKind::Stream,
+        PrefetcherKind::StreamMpp1,
+        PrefetcherKind::Droplet,
+        PrefetcherKind::MonoDropletL1,
+    ] {
+        let r = run(Algorithm::Cc, Dataset::Kron, kind);
+        assert!(
+            r.core.cycles < base.core.cycles,
+            "{kind} should beat baseline on CC: {} vs {}",
+            r.core.cycles,
+            base.core.cycles
+        );
+    }
+}
+
+/// Fig. 12: DROPLET converts the idle L2 into a useful resource.
+#[test]
+fn droplet_lifts_l2_hit_rate_substantially() {
+    let base = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::None);
+    let droplet = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::Droplet);
+    assert!(
+        droplet.l2_hit_rate() > base.l2_hit_rate() + 0.05,
+        "L2 hit rate {} -> {}",
+        base.l2_hit_rate(),
+        droplet.l2_hit_rate()
+    );
+}
+
+/// Fig. 13: streamMPP1 reduces property MPKI relative to stream alone.
+#[test]
+fn mpp_reduces_property_mpki() {
+    let stream = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::Stream);
+    let with_mpp = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::StreamMpp1);
+    assert!(
+        with_mpp.llc_mpki_of(DataType::Property) < stream.llc_mpki_of(DataType::Property),
+        "property MPKI: streamMPP1 {} vs stream {}",
+        with_mpp.llc_mpki_of(DataType::Property),
+        stream.llc_mpki_of(DataType::Property)
+    );
+}
+
+/// Fig. 14: CC's sequential structure stream is the most prefetchable.
+#[test]
+fn cc_structure_accuracy_is_near_perfect() {
+    let r = run(Algorithm::Cc, Dataset::Kron, PrefetcherKind::Droplet);
+    let acc = r.prefetch_accuracy(DataType::Structure);
+    assert!(acc > 0.75, "CC structure accuracy {acc} (paper: 100%)");
+}
+
+/// Fig. 15: prefetching costs bounded extra bandwidth, not a blow-up.
+#[test]
+fn droplet_bandwidth_overhead_is_bounded() {
+    let base = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::None);
+    let droplet = run(Algorithm::Pr, Dataset::Kron, PrefetcherKind::Droplet);
+    let overhead = droplet.bpki() / base.bpki().max(1e-9) - 1.0;
+    assert!(
+        overhead < 0.6,
+        "DROPLET bandwidth overhead {overhead} too large (paper: 6.5-19.9%)"
+    );
+}
