@@ -1,7 +1,9 @@
 //! Regenerates paper Fig. 4: (a) LLC capacity sensitivity, (b) private-L2
 //! sensitivity, (c) off-chip accesses by data type vs LLC capacity.
 
-use droplet::experiments::{fig04a_llc_sweep, fig04b_l2_sweep, fig04c_offchip_by_type, ExperimentCtx};
+use droplet::experiments::{
+    fig04a_llc_sweep, fig04b_l2_sweep, fig04c_offchip_by_type, ExperimentCtx,
+};
 use droplet_bench::{banner, ctx_from_env, timed};
 
 fn main() {

@@ -4,11 +4,11 @@
 //! budget of the figure benches.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use droplet::{run_workload, PrefetcherKind, SystemConfig};
 use droplet::cache::{CacheConfig, FillInfo, ReuseProfiler, SetAssocCache};
 use droplet::gap::Algorithm;
 use droplet::graph::{Dataset, DatasetScale};
 use droplet::trace::{DataType, FunctionalMemory};
+use droplet::{run_workload, PrefetcherKind, SystemConfig};
 use std::sync::Arc;
 
 fn bench_cache(c: &mut Criterion) {
@@ -19,7 +19,10 @@ fn bench_cache(c: &mut Criterion) {
         let mut cache = SetAssocCache::new(CacheConfig::l2());
         b.iter(|| {
             for (i, &line) in accesses.iter().enumerate() {
-                if cache.touch(line, i as u64, DataType::Property, false).is_none() {
+                if cache
+                    .touch(line, i as u64, DataType::Property, false)
+                    .is_none()
+                {
                     cache.fill(line, FillInfo::demand(DataType::Property, i as u64));
                 }
             }

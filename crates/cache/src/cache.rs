@@ -10,18 +10,36 @@ use crate::config::CacheConfig;
 use crate::stats::CacheStats;
 use droplet_trace::{Cycle, DataType};
 
-/// Resident line metadata.
+/// Resident line metadata, packed to 32 bytes so a 16-way set spans eight
+/// cache lines of simulator memory and a whole-set scan stays in L1.
 #[derive(Debug, Clone, Copy)]
 struct LineState {
     line: u64,
+    /// Cycle at which the data is actually present.
+    ready_at: Cycle,
+    /// Recency stamp from the per-cache tick; larger = more recently
+    /// touched. Exact LRU: the minimum stamp of a set is its LRU way.
+    stamp: u64,
+    dtype: DataType,
+    valid: bool,
     dirty: bool,
     /// Filled by a prefetcher (vs the demand path).
     prefetched: bool,
     /// Has seen at least one demand access since fill.
     used: bool,
-    /// Cycle at which the data is actually present.
-    ready_at: Cycle,
-    dtype: DataType,
+}
+
+impl LineState {
+    const INVALID: LineState = LineState {
+        line: 0,
+        ready_at: 0,
+        stamp: 0,
+        dtype: DataType::Structure,
+        valid: false,
+        dirty: false,
+        prefetched: false,
+        used: false,
+    };
 }
 
 /// Result of a demand hit.
@@ -108,8 +126,14 @@ impl FillInfo {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     set_mask: u64,
-    /// Each set keeps LRU order: index 0 = LRU, last = MRU.
-    sets: Vec<Vec<LineState>>,
+    assoc: usize,
+    /// All ways of all sets in one flat allocation: set `s` occupies
+    /// `ways[s * assoc .. (s + 1) * assoc]`. Recency lives in per-way
+    /// stamps, so a hit is an in-place update — no per-access allocation
+    /// or element shifting as with reorder-on-touch LRU lists.
+    ways: Vec<LineState>,
+    /// Monotonic recency clock; bumped on every touch/fill.
+    tick: u64,
     stats: CacheStats,
 }
 
@@ -119,7 +143,9 @@ impl SetAssocCache {
         let num_sets = cfg.num_sets();
         SetAssocCache {
             set_mask: num_sets as u64 - 1,
-            sets: vec![Vec::with_capacity(cfg.assoc); num_sets],
+            assoc: cfg.assoc,
+            ways: vec![LineState::INVALID; num_sets * cfg.assoc],
+            tick: 0,
             cfg,
             stats: CacheStats::default(),
         }
@@ -140,30 +166,42 @@ impl SetAssocCache {
         self.stats.reset();
     }
 
-    fn set_of(&self, line: u64) -> usize {
-        (line & self.set_mask) as usize
+    /// The flat-array span of the set `line` maps to.
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let base = (line & self.set_mask) as usize * self.assoc;
+        base..base + self.assoc
     }
 
     /// Checks residency without touching LRU state or statistics (the
     /// coherence-engine probe the MPP uses to avoid redundant DRAM
     /// prefetches, Section V-A).
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_of(line)].iter().any(|l| l.line == line)
+        self.ways[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.line == line)
     }
 
     /// A demand access to `line` at cycle `now`. Returns hit info, or
     /// `None` on a miss. Updates LRU, usefulness bits, and statistics.
-    pub fn touch(&mut self, line: u64, now: Cycle, dtype: DataType, is_store: bool) -> Option<HitInfo> {
+    pub fn touch(
+        &mut self,
+        line: u64,
+        now: Cycle,
+        dtype: DataType,
+        is_store: bool,
+    ) -> Option<HitInfo> {
         self.stats.demand_accesses.bump(dtype);
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.line == line)?;
-        let mut entry = set.remove(pos);
+        let stamp = self.tick;
+        let range = self.set_range(line);
+        let entry = self.ways[range]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)?;
         let first_prefetch_use = entry.prefetched && !entry.used;
         entry.used = true;
         entry.dirty |= is_store;
+        entry.stamp = stamp;
         let ready_at = entry.ready_at.max(now);
-        set.push(entry);
+        self.tick += 1;
         self.stats.demand_hits.bump(dtype);
         if first_prefetch_use {
             self.stats.prefetch_first_uses.bump(dtype);
@@ -186,53 +224,74 @@ impl SetAssocCache {
         } else {
             self.stats.demand_fills.bump(info.dtype);
         }
-        let assoc = self.cfg.assoc;
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|l| l.line == line) {
-            let mut entry = set.remove(pos);
-            entry.ready_at = entry.ready_at.min(info.ready_at);
-            entry.dirty |= info.dirty;
-            // A demand fill of a previously prefetched line counts as a use.
-            if !info.prefetched && entry.prefetched && !entry.used {
-                entry.used = true;
-                self.stats.prefetch_first_uses.bump(entry.dtype);
+        let stamp = self.tick;
+        self.tick += 1;
+        let range = self.set_range(line);
+        // One scan resolves all three cases: refresh a resident line, or
+        // pick the victim way (first invalid, else minimum stamp = LRU).
+        let mut invalid_idx = None;
+        let mut lru_idx = 0;
+        let mut lru_stamp = u64::MAX;
+        let ways = &mut self.ways[range];
+        for (i, w) in ways.iter_mut().enumerate() {
+            if !w.valid {
+                invalid_idx.get_or_insert(i);
+                continue;
             }
-            set.push(entry);
-            return None;
+            if w.line == line {
+                w.ready_at = w.ready_at.min(info.ready_at);
+                w.dirty |= info.dirty;
+                w.stamp = stamp;
+                // A demand fill of a previously prefetched line counts as
+                // a use.
+                if !info.prefetched && w.prefetched && !w.used {
+                    w.used = true;
+                    self.stats.prefetch_first_uses.bump(w.dtype);
+                }
+                return None;
+            }
+            if w.stamp < lru_stamp {
+                lru_stamp = w.stamp;
+                lru_idx = i;
+            }
         }
-        let evicted = if set.len() == assoc {
-            let victim = set.remove(0);
-            if victim.prefetched && !victim.used {
-                self.stats.prefetch_unused_evictions.bump(victim.dtype);
+        let evicted = match invalid_idx {
+            Some(_) => None,
+            None => {
+                let victim = ways[lru_idx];
+                if victim.prefetched && !victim.used {
+                    self.stats.prefetch_unused_evictions.bump(victim.dtype);
+                }
+                Some(EvictedLine {
+                    line: victim.line,
+                    dirty: victim.dirty,
+                    prefetched: victim.prefetched,
+                    used: victim.used,
+                    dtype: victim.dtype,
+                })
             }
-            Some(EvictedLine {
-                line: victim.line,
-                dirty: victim.dirty,
-                prefetched: victim.prefetched,
-                used: victim.used,
-                dtype: victim.dtype,
-            })
-        } else {
-            None
         };
-        set.push(LineState {
+        ways[invalid_idx.unwrap_or(lru_idx)] = LineState {
             line,
+            ready_at: info.ready_at,
+            stamp,
+            dtype: info.dtype,
+            valid: true,
             dirty: info.dirty,
             prefetched: info.prefetched,
             used: false,
-            ready_at: info.ready_at,
-            dtype: info.dtype,
-        });
+        };
         evicted
     }
 
     /// Removes `line` (inclusion back-invalidation), returning its state.
     pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.line == line)?;
-        let victim = set.remove(pos);
+        let range = self.set_range(line);
+        let entry = self.ways[range]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)?;
+        entry.valid = false;
+        let victim = *entry;
         self.stats.inclusion_invalidations += 1;
         if victim.prefetched && !victim.used {
             self.stats.prefetch_unused_evictions.bump(victim.dtype);
@@ -248,7 +307,7 @@ impl SetAssocCache {
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 }
 
@@ -362,7 +421,10 @@ mod tests {
         let before = *c.stats();
         assert!(c.contains(0));
         assert!(!c.contains(9));
-        assert_eq!(c.stats().demand_accesses.total(), before.demand_accesses.total());
+        assert_eq!(
+            c.stats().demand_accesses.total(),
+            before.demand_accesses.total()
+        );
     }
 
     #[test]

@@ -87,14 +87,18 @@ impl CacheConfig {
     pub fn num_sets(&self) -> usize {
         let lines = self.size_bytes / LINE_BYTES;
         assert!(
-            lines % self.assoc as u64 == 0,
+            lines.is_multiple_of(self.assoc as u64),
             "{}: {} lines not divisible by associativity {}",
             self.name,
             lines,
             self.assoc
         );
         let sets = (lines / self.assoc as u64) as usize;
-        assert!(sets.is_power_of_two(), "{}: set count must be a power of two", self.name);
+        assert!(
+            sets.is_power_of_two(),
+            "{}: set count must be a power of two",
+            self.name
+        );
         sets
     }
 

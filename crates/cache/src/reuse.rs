@@ -304,7 +304,10 @@ mod tests {
         }
         let h = p.histogram(S);
         assert_eq!(h.reuses(), 64);
-        let caps: Vec<f64> = [1u64, 16, 64, 256].iter().map(|&c| h.capturable_by(c)).collect();
+        let caps: Vec<f64> = [1u64, 16, 64, 256]
+            .iter()
+            .map(|&c| h.capturable_by(c))
+            .collect();
         assert!(caps.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*caps.last().unwrap(), 1.0);
         assert_eq!(caps[0], 0.0);

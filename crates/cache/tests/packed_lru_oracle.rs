@@ -1,0 +1,190 @@
+//! Property test pinning the packed (flat-array, stamp-recency) cache to a
+//! naive reorder-on-touch LRU model — the semantics of the original
+//! `Vec<Vec<LineState>>` implementation. Every observable is compared:
+//! hit/miss, `ready_at`, first-prefetch-use, evicted-line identity and
+//! flags, `contains`, and occupancy.
+
+use droplet_cache::{CacheConfig, FillInfo, SetAssocCache};
+use droplet_trace::DataType;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct ModelLine {
+    line: u64,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    ready_at: u64,
+}
+
+/// Per-set LRU order: front = LRU, back = MRU (the seed implementation).
+#[derive(Debug)]
+struct ModelCache {
+    sets: Vec<Vec<ModelLine>>,
+    assoc: usize,
+    num_sets: u64,
+}
+
+impl ModelCache {
+    fn new(num_sets: u64, assoc: usize) -> Self {
+        ModelCache {
+            sets: vec![Vec::new(); num_sets as usize],
+            assoc,
+            num_sets,
+        }
+    }
+
+    fn set_of(&mut self, line: u64) -> &mut Vec<ModelLine> {
+        let s = (line % self.num_sets) as usize;
+        &mut self.sets[s]
+    }
+
+    /// Returns (ready_at, first_prefetch_use) on a hit.
+    fn touch(&mut self, line: u64, now: u64, is_store: bool) -> Option<(u64, bool)> {
+        let set = self.set_of(line);
+        let pos = set.iter().position(|l| l.line == line)?;
+        let mut e = set.remove(pos);
+        let first = e.prefetched && !e.used;
+        e.used = true;
+        e.dirty |= is_store;
+        let ready = e.ready_at.max(now);
+        set.push(e);
+        Some((ready, first))
+    }
+
+    /// Returns the evicted line state, if any.
+    fn fill(
+        &mut self,
+        line: u64,
+        prefetched: bool,
+        ready_at: u64,
+        dirty: bool,
+    ) -> Option<ModelLine> {
+        let assoc = self.assoc;
+        let set = self.set_of(line);
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let mut e = set.remove(pos);
+            e.ready_at = e.ready_at.min(ready_at);
+            e.dirty |= dirty;
+            if !prefetched && e.prefetched && !e.used {
+                e.used = true;
+            }
+            set.push(e);
+            return None;
+        }
+        let evicted = if set.len() == assoc {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push(ModelLine {
+            line,
+            dirty,
+            prefetched,
+            used: false,
+            ready_at,
+        });
+        evicted
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<ModelLine> {
+        let set = self.set_of(line);
+        let pos = set.iter().position(|l| l.line == line)?;
+        Some(set.remove(pos))
+    }
+
+    fn contains(&mut self, line: u64) -> bool {
+        self.set_of(line).iter().any(|l| l.line == line)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mixed touch / demand-fill / prefetch-fill / invalidate streams over
+    /// a small, eviction-heavy geometry.
+    #[test]
+    fn packed_cache_matches_reorder_on_touch_model(
+        ops in prop::collection::vec((0u32..6, 0u64..48), 1..400),
+    ) {
+        let cfg = CacheConfig {
+            name: "t",
+            size_bytes: 8 * 64, // 8 lines
+            assoc: 2,           // 4 sets x 2 ways
+            tag_latency: 1,
+            data_latency: 1,
+        };
+        let num_sets = cfg.num_sets() as u64;
+        let mut cache = SetAssocCache::new(cfg);
+        let mut model = ModelCache::new(num_sets, 2);
+
+        for (i, &(op, line)) in ops.iter().enumerate() {
+            let now = i as u64;
+            match op {
+                // Demand load / store.
+                0 | 1 => {
+                    let is_store = op == 1;
+                    let got = cache.touch(line, now, DataType::Property, is_store);
+                    let want = model.touch(line, now, is_store);
+                    prop_assert_eq!(
+                        got.map(|h| (h.ready_at, h.first_prefetch_use)),
+                        want,
+                        "touch #{} line {}",
+                        i,
+                        line
+                    );
+                }
+                // Demand fill (op 2: clean, op 3: dirty store-allocate).
+                2 | 3 => {
+                    let info = if op == 3 {
+                        FillInfo::demand(DataType::Property, now).dirty()
+                    } else {
+                        FillInfo::demand(DataType::Property, now)
+                    };
+                    let got = cache.fill(line, info);
+                    let want = model.fill(line, false, now, op == 3);
+                    prop_assert_eq!(
+                        got.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        want.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        "demand fill #{} line {}",
+                        i,
+                        line
+                    );
+                }
+                // Prefetch fill arriving in the future.
+                4 => {
+                    let got = cache.fill(line, FillInfo::prefetch(DataType::Structure, now + 50));
+                    let want = model.fill(line, true, now + 50, false);
+                    prop_assert_eq!(
+                        got.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        want.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        "prefetch fill #{} line {}",
+                        i,
+                        line
+                    );
+                }
+                // Back-invalidation.
+                _ => {
+                    let got = cache.invalidate(line);
+                    let want = model.invalidate(line);
+                    prop_assert_eq!(
+                        got.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        want.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        "invalidate #{} line {}",
+                        i,
+                        line
+                    );
+                }
+            }
+            prop_assert_eq!(cache.contains(line), model.contains(line));
+        }
+        prop_assert_eq!(cache.occupancy(), model.occupancy());
+        for line in 0..48 {
+            prop_assert_eq!(cache.contains(line), model.contains(line), "residency of {}", line);
+        }
+    }
+}

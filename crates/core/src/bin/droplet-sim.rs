@@ -21,9 +21,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  droplet-sim run   --algo <bc|bfs|pr|sssp|cc> --dataset <kron|urand|orkut|livejournal|road>\n\
          \x20                   [--prefetcher <none|ghb|vldp|stream|streammpp1|droplet|mono|adaptive>]\n\
-         \x20                   [--scale <tiny|small|sim>] [--budget <ops>]\n\
-         \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>]\n\
-         \x20 droplet-sim info"
+         \x20                   [--scale <tiny|small|sim>] [--budget <ops>] [--threads <n>]\n\
+         \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>] [--threads <n>]\n\
+         \x20 droplet-sim info\n\
+         \x20 --threads overrides DROPLET_THREADS (default: all cores; 1 = fully serial)"
     );
     std::process::exit(2);
 }
@@ -81,6 +82,7 @@ struct Args {
     prefetcher: Option<PrefetcherKind>,
     scale: Option<DatasetScale>,
     budget: Option<u64>,
+    threads: Option<usize>,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -94,6 +96,7 @@ fn parse_flags(rest: &[String]) -> Args {
             "--prefetcher" => args.prefetcher = Some(parse_prefetcher(value)),
             "--scale" => args.scale = Some(parse_scale(value)),
             "--budget" => args.budget = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--threads" => args.threads = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -110,7 +113,10 @@ fn report(label: &str, r: &RunResult) {
     println!("LLC MPKI             {:.1}", r.llc_mpki());
     println!("L2 hit rate          {:.1}%", 100.0 * r.l2_hit_rate());
     println!("BPKI                 {:.1}", r.bpki());
-    println!("BW utilization       {:.1}%", 100.0 * r.bandwidth_utilization());
+    println!(
+        "BW utilization       {:.1}%",
+        100.0 * r.bandwidth_utilization()
+    );
     for dt in DataType::ALL {
         let b = r.service_breakdown(dt);
         println!(
@@ -124,7 +130,11 @@ fn report(label: &str, r: &RunResult) {
     if let Some(mpp) = &r.mpp {
         println!(
             "MPP                  scanned {} lines, {} candidates, {} walks, drops {}/{}",
-            mpp.lines_scanned, mpp.candidates, mpp.mtlb_walks, mpp.buffer_drops, mpp.page_fault_drops
+            mpp.lines_scanned,
+            mpp.candidates,
+            mpp.mtlb_walks,
+            mpp.buffer_drops,
+            mpp.page_fault_drops
         );
         println!(
             "prefetch accuracy    structure {:.0}%, property {:.0}%",
@@ -135,7 +145,11 @@ fn report(label: &str, r: &RunResult) {
     if let Some(locked) = r.sys.adaptive_locked_data_aware {
         println!(
             "adaptive mode        locked {}",
-            if locked { "data-aware" } else { "conventional (streamMPP1)" }
+            if locked {
+                "data-aware"
+            } else {
+                "conventional (streamMPP1)"
+            }
         );
     }
 }
@@ -174,13 +188,16 @@ fn main() {
                 ctx.budget = b;
                 ctx.warmup = (b / 4) as usize;
             }
+            if let Some(n) = args.threads {
+                ctx = ctx.with_threads(n);
+            }
             let spec = WorkloadSpec {
                 algorithm: algo,
                 dataset,
                 scale,
             };
             eprintln!("building {} at {scale:?} scale...", spec.label());
-            let bundle = spec.build_trace_with_budget(ctx.budget);
+            let bundle = ctx.trace(&spec);
             eprintln!(
                 "trace: {} ops ({} instructions), completed: {}",
                 bundle.ops.len(),
@@ -192,7 +209,7 @@ fn main() {
                 let base = run_workload(&bundle, &ctx.base, ctx.warmup);
                 report("baseline (no prefetch)", &base);
                 if kind != PrefetcherKind::None {
-                    let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+                    let r = run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup);
                     report(kind.name(), &r);
                     println!(
                         "\nspeedup over baseline: {:.2}x",
@@ -210,11 +227,24 @@ fn main() {
                 ]);
                 let mut kinds = PrefetcherKind::EVALUATED.to_vec();
                 kinds.push(PrefetcherKind::AdaptiveDroplet);
-                for kind in kinds {
-                    let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+                // The per-prefetcher runs are independent; fan them out.
+                let cfgs: Vec<_> = kinds.iter().map(|&k| ctx.base.with_prefetcher(k)).collect();
+                let warmup = ctx.warmup;
+                let results = ctx.pool.run(
+                    cfgs.iter()
+                        .map(|cfg| {
+                            let bundle = &bundle;
+                            move || run_workload(bundle, cfg, warmup)
+                        })
+                        .collect(),
+                );
+                for (kind, r) in kinds.iter().zip(&results) {
                     t.row(vec![
                         kind.name().into(),
-                        format!("{:.2}x", base.core.cycles as f64 / r.core.cycles.max(1) as f64),
+                        format!(
+                            "{:.2}x",
+                            base.core.cycles as f64 / r.core.cycles.max(1) as f64
+                        ),
                         format!("{:.1}%", 100.0 * r.l2_hit_rate()),
                         format!("{:.1}", r.llc_mpki()),
                         format!("{:.1}", r.bpki()),

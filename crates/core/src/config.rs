@@ -159,20 +159,23 @@ impl SystemConfig {
         }
     }
 
-    /// Selects a prefetcher configuration, adjusting the streamer mode to
-    /// match (data-aware for DROPLET and the monolithic variant).
+    /// A copy of this configuration with `kind` selected, the streamer
+    /// mode adjusted to match (data-aware for DROPLET and the monolithic
+    /// variant). Borrows so sweep loops can derive many configurations
+    /// from one base without cloning at every call site.
     #[must_use]
-    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
-        self.prefetcher = kind;
+    pub fn with_prefetcher(&self, kind: PrefetcherKind) -> Self {
+        let mut cfg = self.clone();
+        cfg.prefetcher = kind;
         // Flip the streamer mode but keep sizing (tracker count etc.) so
         // scaled-down configurations stay scaled.
-        self.stream.data_aware = matches!(
+        cfg.stream.data_aware = matches!(
             kind,
             PrefetcherKind::Droplet
                 | PrefetcherKind::MonoDropletL1
                 | PrefetcherKind::AdaptiveDroplet
         );
-        self
+        cfg
     }
 
     /// Replaces the L3 with a CACTI-latency-scaled LLC of `megabytes`

@@ -72,7 +72,11 @@ impl WorkloadSpec {
         cache
             .entry(key)
             .or_insert_with(|| {
-                Arc::new(disk_cache::load_or_build(self.dataset, self.scale, weighted))
+                Arc::new(disk_cache::load_or_build(
+                    self.dataset,
+                    self.scale,
+                    weighted,
+                ))
             })
             .clone()
     }
@@ -104,7 +108,7 @@ mod disk_cache {
     use std::io::{Read, Write};
     use std::path::PathBuf;
 
-    const MAGIC: u64 = 0xD20_B1E7_CAC4E_u64;
+    const MAGIC: u64 = 0xD20B_1E7C_AC4E_u64;
 
     fn cache_path(dataset: Dataset, scale: DatasetScale, weighted: bool) -> Option<PathBuf> {
         // Only Sim-scale graphs are worth disk space and I/O.
@@ -285,9 +289,6 @@ mod tests {
             WorkloadSpec::default_budget(DatasetScale::Tiny)
                 < WorkloadSpec::default_budget(DatasetScale::Sim)
         );
-        assert_eq!(
-            WorkloadSpec::default_warmup(DatasetScale::Tiny),
-            100_000
-        );
+        assert_eq!(WorkloadSpec::default_warmup(DatasetScale::Tiny), 100_000);
     }
 }

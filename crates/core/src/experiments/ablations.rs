@@ -75,34 +75,69 @@ impl DecouplingAblation {
 }
 
 /// Runs the decoupling ablation over every algorithm on two contrasting
-/// datasets (kron: DROPLET's home turf; road: streamMPP1's).
+/// datasets (kron: DROPLET's home turf; road: streamMPP1's). Every
+/// (workload, configuration) cell fans out over `ctx.pool`.
 pub fn ablation_decoupling(ctx: &ExperimentCtx) -> DecouplingAblation {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for algorithm in Algorithm::ALL {
         for dataset in [Dataset::Kron, Dataset::Road] {
-            let spec = WorkloadSpec {
+            specs.push(WorkloadSpec {
                 algorithm,
                 dataset,
                 scale: ctx.scale,
-            };
-            let bundle = spec.build_trace_with_budget(ctx.budget);
-            let base = run_workload(&bundle, &ctx.base, ctx.warmup);
-            let mut speedups = [0.0; 4];
-            let mut locked = None;
-            for (i, kind) in DECOUPLING_KINDS.into_iter().enumerate() {
-                let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
-                speedups[i] = base.core.cycles as f64 / r.core.cycles.max(1) as f64;
-                if kind == PrefetcherKind::AdaptiveDroplet {
-                    locked = r.sys.adaptive_locked_data_aware;
-                }
-            }
-            rows.push(DecouplingRow {
-                label: spec.label(),
-                speedups,
-                adaptive_locked_data_aware: locked,
             });
         }
     }
+    ctx.pool.run(
+        specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    ctx.trace(spec);
+                }
+            })
+            .collect(),
+    );
+
+    let kind_cfgs: Vec<_> = DECOUPLING_KINDS
+        .iter()
+        .map(|&k| ctx.base.with_prefetcher(k))
+        .collect();
+    let mut cells = Vec::new();
+    for &spec in &specs {
+        cells.push((spec, &ctx.base));
+        for cfg in &kind_cfgs {
+            cells.push((spec, cfg));
+        }
+    }
+    let results = ctx.pool.run(
+        cells
+            .iter()
+            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
+            .collect(),
+    );
+
+    let stride = 1 + DECOUPLING_KINDS.len();
+    let rows = specs
+        .iter()
+        .zip(results.chunks(stride))
+        .map(|(spec, group)| {
+            let base_cycles = group[0].core.cycles;
+            let mut speedups = [0.0; 4];
+            let mut locked = None;
+            for (i, (kind, r)) in DECOUPLING_KINDS.iter().zip(&group[1..]).enumerate() {
+                speedups[i] = base_cycles as f64 / r.core.cycles.max(1) as f64;
+                if *kind == PrefetcherKind::AdaptiveDroplet {
+                    locked = r.sys.adaptive_locked_data_aware;
+                }
+            }
+            DecouplingRow {
+                label: spec.label(),
+                speedups,
+                adaptive_locked_data_aware: locked,
+            }
+        })
+        .collect();
     DecouplingAblation { rows }
 }
 
@@ -157,32 +192,55 @@ impl SizingAblation {
     }
 }
 
-/// Runs the MPP sizing sweep on the two most prefetch-sensitive workloads.
+/// Runs the MPP sizing sweep on the two most prefetch-sensitive workloads;
+/// every (workload, sizing) cell fans out over `ctx.pool`.
 pub fn ablation_mpp_sizing(ctx: &ExperimentCtx) -> SizingAblation {
-    let mut rows = Vec::new();
-    for algorithm in [Algorithm::Pr, Algorithm::Cc] {
-        let spec = WorkloadSpec {
+    let specs: Vec<_> = [Algorithm::Pr, Algorithm::Cc]
+        .into_iter()
+        .map(|algorithm| WorkloadSpec {
             algorithm,
             dataset: Dataset::Kron,
             scale: ctx.scale,
-        };
-        let bundle = spec.build_trace_with_budget(ctx.budget);
-        let base = run_workload(&bundle, &ctx.base, ctx.warmup);
-        for vab_pab in [4usize, 16, 64, 512] {
-            for mtlb in [16usize, 128] {
-                let mut cfg = ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet);
-                cfg.mpp.vab_entries = vab_pab;
-                cfg.mpp.pab_entries = vab_pab;
-                cfg.mpp.mtlb_entries = mtlb;
-                let r = run_workload(&bundle, &cfg, ctx.warmup);
-                rows.push(SizingRow {
-                    label: spec.label(),
-                    vab_pab,
-                    mtlb,
-                    speedup: base.core.cycles as f64 / r.core.cycles.max(1) as f64,
-                    buffer_drops: r.mpp.map_or(0, |m| m.buffer_drops),
-                });
-            }
+        })
+        .collect();
+
+    let mut sized_cfgs = Vec::new();
+    for vab_pab in [4usize, 16, 64, 512] {
+        for mtlb in [16usize, 128] {
+            let mut cfg = ctx.base.with_prefetcher(PrefetcherKind::Droplet);
+            cfg.mpp.vab_entries = vab_pab;
+            cfg.mpp.pab_entries = vab_pab;
+            cfg.mpp.mtlb_entries = mtlb;
+            sized_cfgs.push((vab_pab, mtlb, cfg));
+        }
+    }
+
+    let mut cells = Vec::new();
+    for &spec in &specs {
+        cells.push((spec, &ctx.base));
+        for (_, _, cfg) in &sized_cfgs {
+            cells.push((spec, cfg));
+        }
+    }
+    let results = ctx.pool.run(
+        cells
+            .iter()
+            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
+            .collect(),
+    );
+
+    let stride = 1 + sized_cfgs.len();
+    let mut rows = Vec::new();
+    for (spec, group) in specs.iter().zip(results.chunks(stride)) {
+        let base_cycles = group[0].core.cycles;
+        for ((vab_pab, mtlb, _), r) in sized_cfgs.iter().zip(&group[1..]) {
+            rows.push(SizingRow {
+                label: spec.label(),
+                vab_pab: *vab_pab,
+                mtlb: *mtlb,
+                speedup: base_cycles as f64 / r.core.cycles.max(1) as f64,
+                buffer_drops: r.mpp.map_or(0, |m| m.buffer_drops),
+            });
         }
     }
     SizingAblation { rows }
@@ -204,17 +262,17 @@ mod tests {
         let base = run_workload(&bundle, &ctx.base, ctx.warmup);
         let droplet = run_workload(
             &bundle,
-            &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+            &ctx.base.with_prefetcher(PrefetcherKind::Droplet),
             ctx.warmup,
         );
         let smpp = run_workload(
             &bundle,
-            &ctx.base.clone().with_prefetcher(PrefetcherKind::StreamMpp1),
+            &ctx.base.with_prefetcher(PrefetcherKind::StreamMpp1),
             ctx.warmup,
         );
         let adaptive = run_workload(
             &bundle,
-            &ctx.base.clone().with_prefetcher(PrefetcherKind::AdaptiveDroplet),
+            &ctx.base.with_prefetcher(PrefetcherKind::AdaptiveDroplet),
             ctx.warmup,
         );
         assert!(

@@ -59,38 +59,63 @@ fn size_label(bytes: u64) -> String {
     }
 }
 
-/// Runs the Fig. 4a/4c sweep.
+/// Runs the Fig. 4a/4c sweep; every (capacity, workload) cell fans out
+/// over `ctx.pool`, with bundles shared through the trace cache.
 pub fn fig04a_llc_sweep(ctx: &ExperimentCtx) -> Fig04a {
     let specs = WorkloadSpec::matrix(ctx.scale);
-    let bundles: Vec<_> = specs
-        .iter()
-        .map(|s| s.build_trace_with_budget(ctx.budget))
+    ctx.pool.run(
+        specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    ctx.trace(spec);
+                }
+            })
+            .collect(),
+    );
+
+    let cfgs: Vec<_> = ctx
+        .llc_sweep()
+        .into_iter()
+        .map(|l3| {
+            let mut cfg = ctx.base.clone();
+            cfg.l3 = l3;
+            cfg
+        })
         .collect();
-    let mut base_cycles = Vec::new();
+    let mut cells = Vec::new();
+    for cfg in &cfgs {
+        for &spec in &specs {
+            cells.push((spec, cfg));
+        }
+    }
+    let results = ctx.pool.run(
+        cells
+            .iter()
+            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
+            .collect(),
+    );
+
+    // The first chunk is the base-capacity point speedups are measured
+    // against.
+    let n = specs.len();
+    let base_cycles: Vec<u64> = results[..n].iter().map(|r| r.core.cycles).collect();
     let mut points = Vec::new();
-    for (step, l3) in ctx.llc_sweep().into_iter().enumerate() {
-        let mut cfg = ctx.base.clone();
-        let size_bytes = l3.size_bytes;
-        cfg.l3 = l3;
-        let mut mpkis = Vec::new();
-        let mut speedups = Vec::new();
+    for (cfg, chunk) in cfgs.iter().zip(results.chunks(n)) {
+        let speedups: Vec<f64> = chunk
+            .iter()
+            .zip(&base_cycles)
+            .map(|(r, &b)| b as f64 / r.core.cycles.max(1) as f64)
+            .collect();
         let mut offchip = [0.0f64; 3];
-        for (i, bundle) in bundles.iter().enumerate() {
-            let r = run_workload(bundle, &cfg, ctx.warmup);
-            mpkis.push(r.llc_mpki());
-            if step == 0 {
-                base_cycles.push(r.core.cycles);
-                speedups.push(1.0);
-            } else {
-                speedups.push(base_cycles[i] as f64 / r.core.cycles.max(1) as f64);
-            }
+        for r in chunk {
             for dt in DataType::ALL {
-                offchip[dt.index()] += r.offchip_fraction(dt) / bundles.len() as f64;
+                offchip[dt.index()] += r.offchip_fraction(dt) / n as f64;
             }
         }
         points.push(LlcPoint {
-            size_bytes,
-            mean_mpki: mpkis.iter().sum::<f64>() / mpkis.len().max(1) as f64,
+            size_bytes: cfg.l3.size_bytes,
+            mean_mpki: chunk.iter().map(|r| r.llc_mpki()).sum::<f64>() / n.max(1) as f64,
             geomean_speedup: geomean(&speedups),
             offchip_by_type: offchip,
         });
@@ -164,34 +189,53 @@ impl Fig04b {
     }
 }
 
-/// Runs the Fig. 4b sweep.
+/// Runs the Fig. 4b sweep; every (configuration, workload) cell fans out
+/// over `ctx.pool`, with bundles shared through the trace cache.
 pub fn fig04b_l2_sweep(ctx: &ExperimentCtx) -> Fig04b {
     let specs = WorkloadSpec::matrix(ctx.scale);
-    let bundles: Vec<_> = specs
-        .iter()
-        .map(|s| s.build_trace_with_budget(ctx.budget))
-        .collect();
+    ctx.pool.run(
+        specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    ctx.trace(spec);
+                }
+            })
+            .collect(),
+    );
 
-    // Baseline cycles: the base L2 point.
-    let base_cfg = ctx.base.clone();
-    let base_cycles: Vec<u64> = bundles
-        .iter()
-        .map(|b| run_workload(b, &base_cfg, ctx.warmup).core.cycles)
+    let cfgs: Vec<_> = ctx
+        .l2_sweep()
+        .into_iter()
+        .map(|(label, l2)| (label, ctx.base.clone().with_l2(l2)))
         .collect();
-
-    let mut points = Vec::new();
-    for (label, l2) in ctx.l2_sweep() {
-        let cfg = ctx.base.clone().with_l2(l2);
-        let mut hit_rates = Vec::new();
-        let mut speedups = Vec::new();
-        for (i, bundle) in bundles.iter().enumerate() {
-            let r = run_workload(bundle, &cfg, ctx.warmup);
-            hit_rates.push(r.l2_hit_rate());
-            speedups.push(base_cycles[i] as f64 / r.core.cycles.max(1) as f64);
+    // The baseline-cycles chunk (base L2 point) first, then one chunk per
+    // swept configuration.
+    let mut cells: Vec<_> = specs.iter().map(|&spec| (spec, &ctx.base)).collect();
+    for (_, cfg) in &cfgs {
+        for &spec in &specs {
+            cells.push((spec, cfg));
         }
+    }
+    let results = ctx.pool.run(
+        cells
+            .iter()
+            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
+            .collect(),
+    );
+
+    let n = specs.len();
+    let base_cycles: Vec<u64> = results[..n].iter().map(|r| r.core.cycles).collect();
+    let mut points = Vec::new();
+    for ((label, _), chunk) in cfgs.into_iter().zip(results[n..].chunks(n)) {
+        let speedups: Vec<f64> = chunk
+            .iter()
+            .zip(&base_cycles)
+            .map(|(r, &b)| b as f64 / r.core.cycles.max(1) as f64)
+            .collect();
         points.push(L2Point {
             label,
-            mean_hit_rate: hit_rates.iter().sum::<f64>() / hit_rates.len().max(1) as f64,
+            mean_hit_rate: chunk.iter().map(|r| r.l2_hit_rate()).sum::<f64>() / n.max(1) as f64,
             geomean_speedup: geomean(&speedups),
         });
     }
@@ -224,7 +268,10 @@ mod tests {
             cfg.l3 = l3;
             let r = run_workload(&bundle, &cfg, ctx.warmup);
             let mpki = r.llc_mpki();
-            assert!(mpki <= last + 1e-9, "MPKI must not grow: {mpki} after {last}");
+            assert!(
+                mpki <= last + 1e-9,
+                "MPKI must not grow: {mpki} after {last}"
+            );
             last = mpki;
         }
     }

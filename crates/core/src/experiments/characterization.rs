@@ -37,7 +37,7 @@ pub fn fig01_cycle_stack(ctx: &ExperimentCtx) -> Fig01 {
         dataset: Dataset::Orkut,
         scale: ctx.scale,
     };
-    let bundle = spec.build_trace_with_budget(ctx.budget);
+    let bundle = ctx.trace(&spec);
     let r = run_workload(&bundle, &ctx.base, ctx.warmup);
     Fig01 {
         stack: r.core.cycle_stack,
@@ -74,11 +74,7 @@ impl Fig03 {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows
-            .iter()
-            .map(|r| r.bw_big - r.bw_base)
-            .sum::<f64>()
-            / self.rows.len() as f64
+        self.rows.iter().map(|r| r.bw_big - r.bw_base).sum::<f64>() / self.rows.len() as f64
     }
 
     /// Mean speedup − 1 (paper: +1.44 % on average).
@@ -119,26 +115,31 @@ impl Fig03 {
     }
 }
 
-/// Runs the Fig. 3 experiment over the full workload matrix.
+/// Runs the Fig. 3 experiment over the full workload matrix; the
+/// independent per-workload cells fan out over `ctx.pool`.
 pub fn fig03_rob_sweep(ctx: &ExperimentCtx) -> Fig03 {
-    let mut rows = Vec::new();
-    for spec in WorkloadSpec::matrix(ctx.scale) {
-        let bundle = spec.build_trace_with_budget(ctx.budget);
-        let base = run_workload(&bundle, &ctx.base, ctx.warmup);
-        let big = run_workload(
-            &bundle,
-            &ctx.base.clone().with_window_scale(4),
-            ctx.warmup,
-        );
-        rows.push(Fig03Row {
-            label: spec.label(),
-            bw_base: base.bandwidth_utilization(),
-            bw_big: big.bandwidth_utilization(),
-            speedup: base.core.cycles as f64 / big.core.cycles.max(1) as f64,
-            mlp_base: base.core.mlp.avg_outstanding,
-            mlp_big: big.core.mlp.avg_outstanding,
-        });
-    }
+    let big_cfg = ctx.base.clone().with_window_scale(4);
+    let rows = ctx.pool.run(
+        WorkloadSpec::matrix(ctx.scale)
+            .into_iter()
+            .map(|spec| {
+                let big_cfg = &big_cfg;
+                move || {
+                    let bundle = ctx.trace(&spec);
+                    let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+                    let big = run_workload(&bundle, big_cfg, ctx.warmup);
+                    Fig03Row {
+                        label: spec.label(),
+                        bw_base: base.bandwidth_utilization(),
+                        bw_big: big.bandwidth_utilization(),
+                        speedup: base.core.cycles as f64 / big.core.cycles.max(1) as f64,
+                        mlp_base: base.core.mlp.avg_outstanding,
+                        mlp_big: big.core.mlp.avg_outstanding,
+                    }
+                }
+            })
+            .collect(),
+    );
     Fig03 { rows }
 }
 
@@ -187,7 +188,11 @@ impl Fig0506 {
             "cons I".into(),
         ]);
         for r in &self.rows {
-            let mut cells = vec![r.label.clone(), pct(r.chained), format!("{:.2}", r.mean_len)];
+            let mut cells = vec![
+                r.label.clone(),
+                pct(r.chained),
+                format!("{:.2}", r.mean_len),
+            ];
             for v in r.producer {
                 cells.push(pct(v));
             }
@@ -214,29 +219,36 @@ impl Fig0506 {
     }
 }
 
-/// Runs the Fig. 5/6 analysis (trace-level; no timing model needed).
+/// Runs the Fig. 5/6 analysis (trace-level; no timing model needed); the
+/// per-workload analyses fan out over `ctx.pool`.
 pub fn fig05_06_chains(ctx: &ExperimentCtx) -> Fig0506 {
     let rob = ctx.base.core.rob;
-    let mut rows = Vec::new();
-    for spec in WorkloadSpec::matrix(ctx.scale) {
-        let bundle = spec.build_trace_with_budget(ctx.budget);
-        let report = analyze_chains(&bundle.ops, rob);
-        rows.push(ChainRow {
-            label: spec.label(),
-            chained: report.chained_fraction(),
-            mean_len: report.mean_chain_len(),
-            producer: [
-                report.producer_fraction(DataType::Structure),
-                report.producer_fraction(DataType::Property),
-                report.producer_fraction(DataType::Intermediate),
-            ],
-            consumer: [
-                report.consumer_fraction(DataType::Structure),
-                report.consumer_fraction(DataType::Property),
-                report.consumer_fraction(DataType::Intermediate),
-            ],
-        });
-    }
+    let rows = ctx.pool.run(
+        WorkloadSpec::matrix(ctx.scale)
+            .into_iter()
+            .map(|spec| {
+                move || {
+                    let bundle = ctx.trace(&spec);
+                    let report = analyze_chains(&bundle.ops, rob);
+                    ChainRow {
+                        label: spec.label(),
+                        chained: report.chained_fraction(),
+                        mean_len: report.mean_chain_len(),
+                        producer: [
+                            report.producer_fraction(DataType::Structure),
+                            report.producer_fraction(DataType::Property),
+                            report.producer_fraction(DataType::Intermediate),
+                        ],
+                        consumer: [
+                            report.consumer_fraction(DataType::Structure),
+                            report.consumer_fraction(DataType::Property),
+                            report.consumer_fraction(DataType::Intermediate),
+                        ],
+                    }
+                }
+            })
+            .collect(),
+    );
     Fig0506 { rows }
 }
 
@@ -301,21 +313,28 @@ impl Fig07 {
     }
 }
 
-/// Runs the Fig. 7 experiment (baseline configuration).
+/// Runs the Fig. 7 experiment (baseline configuration); the per-workload
+/// cells fan out over `ctx.pool`.
 pub fn fig07_hierarchy_usage(ctx: &ExperimentCtx) -> Fig07 {
-    let mut rows = Vec::new();
-    for spec in WorkloadSpec::matrix(ctx.scale) {
-        let bundle = spec.build_trace_with_budget(ctx.budget);
-        let r = run_workload(&bundle, &ctx.base, ctx.warmup);
-        let mut breakdown = [[0.0; 4]; 3];
-        for dt in DataType::ALL {
-            breakdown[dt.index()] = r.service_breakdown(dt);
-        }
-        rows.push(Fig07Row {
-            label: spec.label(),
-            breakdown,
-        });
-    }
+    let rows = ctx.pool.run(
+        WorkloadSpec::matrix(ctx.scale)
+            .into_iter()
+            .map(|spec| {
+                move || {
+                    let bundle = ctx.trace(&spec);
+                    let r = run_workload(&bundle, &ctx.base, ctx.warmup);
+                    let mut breakdown = [[0.0; 4]; 3];
+                    for dt in DataType::ALL {
+                        breakdown[dt.index()] = r.service_breakdown(dt);
+                    }
+                    Fig07Row {
+                        label: spec.label(),
+                        breakdown,
+                    }
+                }
+            })
+            .collect(),
+    );
     Fig07 { rows }
 }
 

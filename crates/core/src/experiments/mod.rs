@@ -13,19 +13,29 @@ pub mod reuse;
 
 pub use ablations::{ablation_decoupling, ablation_mpp_sizing};
 pub use cache_sweeps::{fig04a_llc_sweep, fig04b_l2_sweep, fig04c_offchip_by_type};
-pub use characterization::{fig01_cycle_stack, fig03_rob_sweep, fig05_06_chains, fig07_hierarchy_usage};
+pub use characterization::{
+    fig01_cycle_stack, fig03_rob_sweep, fig05_06_chains, fig07_hierarchy_usage,
+};
 pub use prefetch_study::{PrefetchStudy, StudyRow};
 pub use reuse::tab_reuse_distances;
 
 use crate::config::SystemConfig;
 use crate::datasets::WorkloadSpec;
+use crate::pool::JobPool;
+use crate::trace_cache::TraceCache;
 use droplet_cache::CacheConfig;
+use droplet_gap::TraceBundle;
 use droplet_graph::DatasetScale;
+use std::sync::Arc;
 
 /// Shared experiment context: dataset scale, op budget, warm-up prefix, and
 /// the base system configuration experiments start from (the Table I
 /// baseline at Sim scale, a proportionally shrunk hierarchy at Tiny/Small
 /// scales so cache-pressure behaviour survives in fast runs).
+///
+/// The context also carries the process-shared [`TraceCache`] (clones share
+/// it) and the [`JobPool`] the drivers fan their independent simulation
+/// cells over; `DROPLET_THREADS=1` forces fully serial execution.
 #[derive(Debug, Clone)]
 pub struct ExperimentCtx {
     /// Dataset scale to build.
@@ -36,6 +46,10 @@ pub struct ExperimentCtx {
     pub warmup: usize,
     /// The baseline system configuration experiments derive from.
     pub base: SystemConfig,
+    /// Shared trace store: each (workload, budget) bundle is built once.
+    pub traces: TraceCache,
+    /// Worker pool the drivers fan independent cells over.
+    pub pool: JobPool,
 }
 
 impl ExperimentCtx {
@@ -100,7 +114,22 @@ impl ExperimentCtx {
             budget: WorkloadSpec::default_budget(scale),
             warmup: WorkloadSpec::default_warmup(scale),
             base,
+            traces: TraceCache::new(),
+            pool: JobPool::from_env(),
         }
+    }
+
+    /// Overrides the worker count (equivalent to `DROPLET_THREADS`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = JobPool::with_threads(threads);
+        self
+    }
+
+    /// The trace bundle of `spec` at this context's budget, via the shared
+    /// cache — repeated calls (from any driver or worker) build it once.
+    pub fn trace(&self, spec: &WorkloadSpec) -> Arc<TraceBundle> {
+        self.traces.get_or_build(*spec, self.budget)
     }
 
     /// The four-point LLC capacity sweep of Fig. 4a: the base LLC scaled
@@ -130,9 +159,7 @@ impl ExperimentCtx {
             data_latency: base.data_latency,
         };
         let b = base.size_bytes;
-        let label = |bytes: u64, assoc: usize| {
-            format!("{}KB/{}w", bytes / 1024, assoc)
-        };
+        let label = |bytes: u64, assoc: usize| format!("{}KB/{}w", bytes / 1024, assoc);
         vec![
             ("none".into(), None),
             (label(b / 2, base.assoc), Some(sized(b / 2, base.assoc))),

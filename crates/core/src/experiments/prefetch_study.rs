@@ -45,7 +45,12 @@ pub struct PrefetchStudy {
     pub kinds: Vec<PrefetcherKind>,
 }
 
-fn row_from(result: &RunResult, spec: &WorkloadSpec, kind: PrefetcherKind, base_cycles: u64) -> StudyRow {
+fn row_from(
+    result: &RunResult,
+    spec: &WorkloadSpec,
+    kind: PrefetcherKind,
+    base_cycles: u64,
+) -> StudyRow {
     let mut mpki = [0.0; 3];
     let mut acc = [0.0; 3];
     for dt in DataType::ALL {
@@ -66,21 +71,55 @@ fn row_from(result: &RunResult, spec: &WorkloadSpec, kind: PrefetcherKind, base_
 }
 
 /// Runs the study for `kinds` over the full matrix of `ctx`.
+///
+/// Every (workload, configuration) cell is an independent simulation over
+/// shared read-only inputs, so the cells fan out over `ctx.pool`; results
+/// come back in submission order, making the output identical to a serial
+/// run (`DROPLET_THREADS=1` forces the serial path for debugging).
 pub fn run_study(ctx: &ExperimentCtx, kinds: &[PrefetcherKind]) -> PrefetchStudy {
+    let specs = WorkloadSpec::matrix(ctx.scale);
+
+    // Phase 1 — warm the shared trace cache, one parallel build per unique
+    // bundle, so phase-2 workers never serialize on a bundle build.
+    ctx.pool.run(
+        specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    ctx.trace(spec);
+                }
+            })
+            .collect(),
+    );
+
+    // One derived configuration per evaluated kind, shared by every
+    // workload cell instead of being re-derived per cell.
+    let cfgs: Vec<_> = kinds.iter().map(|&k| ctx.base.with_prefetcher(k)).collect();
+
+    // Phase 2 — every (workload, configuration) cell, baseline first so
+    // speedups can be assembled from the ordered results.
+    let mut cells: Vec<(WorkloadSpec, &crate::config::SystemConfig, PrefetcherKind)> = Vec::new();
+    for &spec in &specs {
+        cells.push((spec, &ctx.base, PrefetcherKind::None));
+        for (cfg, &kind) in cfgs.iter().zip(kinds) {
+            cells.push((spec, cfg, kind));
+        }
+    }
+    let results = ctx.pool.run(
+        cells
+            .iter()
+            .map(|&(spec, cfg, _)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
+            .collect(),
+    );
+
     let mut baselines = Vec::new();
     let mut rows = Vec::new();
-    for spec in WorkloadSpec::matrix(ctx.scale) {
-        let bundle = spec.build_trace_with_budget(ctx.budget);
-        let base = run_workload(&bundle, &ctx.base, ctx.warmup);
-        let base_cycles = base.core.cycles;
-        baselines.push(row_from(&base, &spec, PrefetcherKind::None, base_cycles));
-        for &kind in kinds {
-            let r = run_workload(
-                &bundle,
-                &ctx.base.clone().with_prefetcher(kind),
-                ctx.warmup,
-            );
-            rows.push(row_from(&r, &spec, kind, base_cycles));
+    let stride = 1 + kinds.len();
+    for (spec, group) in specs.iter().zip(results.chunks(stride)) {
+        let base_cycles = group[0].core.cycles;
+        baselines.push(row_from(&group[0], spec, PrefetcherKind::None, base_cycles));
+        for (r, &kind) in group[1..].iter().zip(kinds) {
+            rows.push(row_from(r, spec, kind, base_cycles));
         }
     }
     PrefetchStudy {
@@ -182,7 +221,9 @@ impl PrefetchStudy {
         );
         for algo in Algorithm::ALL {
             let mut cells = vec![algo.name().to_string()];
-            cells.push(pct(self.mean_metric(algo, PrefetcherKind::None, |r| r.l2_hit_rate)));
+            cells.push(pct(
+                self.mean_metric(algo, PrefetcherKind::None, |r| r.l2_hit_rate)
+            ));
             for &k in &self.kinds {
                 cells.push(pct(self.mean_metric(algo, k, |r| r.l2_hit_rate)));
             }
@@ -210,9 +251,18 @@ impl PrefetchStudy {
                 t.row(vec![
                     algo.name().to_string(),
                     kind.name().to_string(),
-                    format!("{:.2}", self.mean_metric(algo, kind, |r| r.llc_mpki_by_type[0])),
-                    format!("{:.2}", self.mean_metric(algo, kind, |r| r.llc_mpki_by_type[1])),
-                    format!("{:.2}", self.mean_metric(algo, kind, |r| r.llc_mpki_by_type[2])),
+                    format!(
+                        "{:.2}",
+                        self.mean_metric(algo, kind, |r| r.llc_mpki_by_type[0])
+                    ),
+                    format!(
+                        "{:.2}",
+                        self.mean_metric(algo, kind, |r| r.llc_mpki_by_type[1])
+                    ),
+                    format!(
+                        "{:.2}",
+                        self.mean_metric(algo, kind, |r| r.llc_mpki_by_type[2])
+                    ),
                 ]);
             }
         }
@@ -304,18 +354,14 @@ mod tests {
             dataset: Dataset::Kron,
             scale: ctx.scale,
         };
-        let bundle = spec.build_trace_with_budget(ctx.budget);
+        let bundle = ctx.trace(&spec);
         let base = run_workload(&bundle, &ctx.base, ctx.warmup);
         let base_cycles = base.core.cycles;
         let baselines = vec![row_from(&base, &spec, PrefetcherKind::None, base_cycles)];
         let rows = kinds
             .iter()
             .map(|&k| {
-                let r = run_workload(
-                    &bundle,
-                    &ctx.base.clone().with_prefetcher(k),
-                    ctx.warmup,
-                );
+                let r = run_workload(&bundle, &ctx.base.with_prefetcher(k), ctx.warmup);
                 row_from(&r, &spec, k, base_cycles)
             })
             .collect();

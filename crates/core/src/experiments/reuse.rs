@@ -88,7 +88,10 @@ fn l1_filtered_profile(
     let mut profiler = ReuseProfiler::new();
     for (i, op) in ops.iter().enumerate() {
         let line = op.addr().line_index();
-        if filter.touch(line, i as u64, op.dtype(), !op.is_load()).is_none() {
+        if filter
+            .touch(line, i as u64, op.dtype(), !op.is_load())
+            .is_none()
+        {
             profiler.access(line, op.dtype());
             filter.fill(line, FillInfo::demand(op.dtype(), i as u64));
         }

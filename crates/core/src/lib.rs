@@ -34,12 +34,16 @@ pub mod config;
 pub mod datasets;
 pub mod experiments;
 pub mod overhead;
+pub mod pool;
 pub mod report;
 pub mod system;
+pub mod trace_cache;
 
 pub use config::{PrefetcherKind, SystemConfig};
 pub use datasets::WorkloadSpec;
+pub use pool::JobPool;
 pub use system::{run_workload, RunResult, System, SystemStats};
+pub use trace_cache::TraceCache;
 
 // Re-export the substrate crates so downstream users need only `droplet`.
 pub use droplet_cache as cache;

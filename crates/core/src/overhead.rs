@@ -36,7 +36,7 @@ pub fn overheads(cfg: &SystemConfig) -> OverheadReport {
     let page_table_ratio = PageTable::extra_bit_overhead_ratio();
     let page_table_bytes = 64; // 512 entries × 1 bit
     let l2_queue_bytes = L2_QUEUE_ENTRIES / 8; // one bit per entry
-    // Each queue entry holds a miss address + status ≈ 8 B ⇒ 1/65 ≈ 1.54 %.
+                                               // Each queue entry holds a miss address + status ≈ 8 B ⇒ 1/65 ≈ 1.54 %.
     let l2_queue_ratio = 1.0 / 65.0;
     let mpp_bytes = cfg.mpp.storage_bytes() + 2 * 8; // + two 64-bit registers
     let mrb_core_id_bytes = Mrb::core_id_storage_bytes(cfg.mrb_entries, 4);

@@ -60,9 +60,9 @@ impl Table {
         }
         let fmt_row = |row: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:>width$}  ", width = widths[i]));
+                line.push_str(&format!("{cell:>width$}  "));
             }
             line.trim_end().to_string()
         };

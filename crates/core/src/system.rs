@@ -6,12 +6,12 @@
 
 use crate::config::{PrefetcherKind, SystemConfig};
 use droplet_cache::{CacheStats, FillInfo, SetAssocCache, TypedCounter};
-use droplet_cpu::{AccessResponse, CoreSim, CoreResult, MemorySystem, ServiceLevel};
+use droplet_cpu::{AccessResponse, CoreResult, CoreSim, MemorySystem, ServiceLevel};
 use droplet_gap::TraceBundle;
 use droplet_mem::{Dram, DramStats, Mrb, MrbEntry};
 use droplet_prefetch::{
-    AccessEvent, EventKind, GhbPrefetcher, Mpp, MppCandidate, MppStats, Prefetcher,
-    PrefetchRequest, StreamPrefetcher, VldpPrefetcher,
+    AccessEvent, EventKind, GhbPrefetcher, Mpp, MppCandidate, MppStats, PrefetchRequest,
+    Prefetcher, StreamPrefetcher, VldpPrefetcher,
 };
 use droplet_trace::{Cycle, DataType, MemOp, OpId, PageTable, Tlb, VirtAddr, PAGE_BYTES};
 
@@ -139,15 +139,14 @@ impl<'a> System<'a> {
         });
 
         let cfg_mshrs = cfg.mshrs.max(1);
-        let adaptive_state = (cfg.prefetcher == PrefetcherKind::AdaptiveDroplet).then(|| {
-            AdaptiveState {
+        let adaptive_state =
+            (cfg.prefetcher == PrefetcherKind::AdaptiveDroplet).then(|| AdaptiveState {
                 epoch_misses: cfg.adaptive_epoch_misses.max(1),
                 misses: 0,
                 latency_sum: 0,
                 phase: 0,
                 probe_data_aware_avg: 0.0,
-            }
-        });
+            });
         System {
             dtlb: Tlb::new(cfg.dtlb_entries),
             l1: SetAssocCache::new(cfg.l1.clone()),
@@ -243,7 +242,8 @@ impl<'a> System<'a> {
                 self.stats.prefetch_unmapped_drops += 1;
                 continue;
             };
-            let pline = (entry.frame * PAGE_BYTES + vaddr.page_offset()) / droplet_trace::LINE_BYTES;
+            let pline =
+                (entry.frame * PAGE_BYTES + vaddr.page_offset()) / droplet_trace::LINE_BYTES;
             let mono = self.cfg.prefetcher.monolithic_l1();
 
             // Redundant if already resident at the fill destination.
@@ -366,7 +366,8 @@ impl<'a> System<'a> {
                     l2.fill(pl, FillInfo::prefetch(DataType::Property, ready));
                 }
                 if mono {
-                    self.l1.fill(pl, FillInfo::prefetch(DataType::Property, ready));
+                    self.l1
+                        .fill(pl, FillInfo::prefetch(DataType::Property, ready));
                 }
                 self.stats.mpp_copied_from_llc += 1;
             } else {
@@ -480,8 +481,7 @@ impl MemorySystem for System<'_> {
 
         // --- L1 ---
         if let Some(hit) = self.l1.touch(pl, t0, dtype, is_store) {
-            let complete =
-                (hit.ready_at.max(t0) + self.cfg.l1.data_latency).min(t0 + promote);
+            let complete = (hit.ready_at.max(t0) + self.cfg.l1.data_latency).min(t0 + promote);
             if mono && is_structure {
                 // The monolithic L1 streamer also sees its hits as feedback.
                 self.feed_prefetcher(AccessEvent {
@@ -537,10 +537,8 @@ impl MemorySystem for System<'_> {
                     let complete = (hit.ready_at.max(t1) + l2cfg_data).min(t1 + promote);
                     // DROPLET's data-aware streamer trains on L2 structure
                     // hits (Fig. 9(b)).
-                    let live_data_aware = self
-                        .core_pf
-                        .as_ref()
-                        .is_some_and(|pf| pf.is_data_aware());
+                    let live_data_aware =
+                        self.core_pf.as_ref().is_some_and(|pf| pf.is_data_aware());
                     if is_structure && live_data_aware && !mono {
                         self.feed_prefetcher(AccessEvent {
                             vaddr,
@@ -590,8 +588,7 @@ impl MemorySystem for System<'_> {
             }
             // No private L2 (Fig. 4b leftmost bar).
             if let Some(hit) = self.l3.touch(pl, t1, dtype, is_store) {
-                let complete =
-                    (hit.ready_at.max(t1) + self.cfg.l3.data_latency).min(t1 + promote);
+                let complete = (hit.ready_at.max(t1) + self.cfg.l3.data_latency).min(t1 + promote);
                 break 'path (
                     AccessResponse {
                         complete_at: complete,
@@ -898,7 +895,12 @@ mod tests {
         // demand burst for the same line, so BPKI can even dip slightly
         // below baseline; it must stay in the neighbourhood and the
         // prefetch traffic itself must exist.
-        assert!(drop.bpki() > base.bpki() * 0.85, "{} vs {}", drop.bpki(), base.bpki());
+        assert!(
+            drop.bpki() > base.bpki() * 0.85,
+            "{} vs {}",
+            drop.bpki(),
+            base.bpki()
+        );
         assert!(drop.dram.prefetch_accesses > 0);
     }
 

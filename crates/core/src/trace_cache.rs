@@ -1,0 +1,134 @@
+//! A process-wide, thread-safe cache of built workload traces.
+//!
+//! Trace construction (graph walk + op synthesis) is the most expensive
+//! *shared* step of every experiment driver: `run_study`, the figure
+//! sweeps, and the ablations all replay the same `(workload, budget)`
+//! bundles under different system configurations. [`TraceCache`] builds
+//! each bundle exactly once per process — even under concurrent requests
+//! from pool workers — and hands out `Arc` clones.
+//!
+//! Graphs themselves are additionally cached one layer down (see
+//! [`crate::datasets`]), so a cache miss here only pays for the trace walk,
+//! not graph generation.
+
+use crate::datasets::WorkloadSpec;
+use droplet_gap::TraceBundle;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Key = (WorkloadSpec, u64);
+
+/// The once-per-key build cell: cloned out of the map so the map lock is
+/// never held across a trace build.
+type Cell = Arc<OnceLock<Arc<TraceBundle>>>;
+
+/// A shareable trace cache; clones share the same underlying store.
+#[derive(Clone, Default)]
+pub struct TraceCache {
+    // Per-key OnceLock so concurrent requesters of the *same* bundle block
+    // on one build while requesters of *different* bundles proceed — the
+    // outer map lock is only held to look up the cell, never during a build.
+    entries: Arc<Mutex<HashMap<Key, Cell>>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bundle for `(spec, budget)`, building it on first request.
+    pub fn get_or_build(&self, spec: WorkloadSpec, budget: u64) -> Arc<TraceBundle> {
+        let cell = {
+            let mut map = self.entries.lock().expect("trace cache poisoned");
+            map.entry((spec, budget)).or_default().clone()
+        };
+        cell.get_or_init(|| Arc::new(spec.build_trace_with_budget(budget)))
+            .clone()
+    }
+
+    /// How many bundles are resident (counting in-flight builds).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether the cache holds no bundles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached bundle (frees memory between experiment suites).
+    pub fn clear(&self) {
+        self.entries.lock().expect("trace cache poisoned").clear();
+    }
+}
+
+impl fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::JobPool;
+    use droplet_gap::Algorithm;
+    use droplet_graph::{Dataset, DatasetScale};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            algorithm: Algorithm::Pr,
+            dataset: Dataset::Kron,
+            scale: DatasetScale::Tiny,
+        }
+    }
+
+    #[test]
+    fn same_key_returns_same_allocation() {
+        let cache = TraceCache::new();
+        let a = cache.get_or_build(spec(), 30_000);
+        let b = cache.get_or_build(spec(), 30_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_budgets_are_distinct_entries() {
+        let cache = TraceCache::new();
+        let a = cache.get_or_build(spec(), 30_000);
+        let b = cache.get_or_build(spec(), 40_000);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(a.ops.len() < b.ops.len());
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let cache = TraceCache::new();
+        let twin = cache.clone();
+        let a = cache.get_or_build(spec(), 30_000);
+        let b = twin.get_or_build(spec(), 30_000);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = TraceCache::new();
+        let bundles = JobPool::with_threads(8).run(
+            (0..16)
+                .map(|_| {
+                    let cache = cache.clone();
+                    move || cache.get_or_build(spec(), 30_000)
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(bundles.iter().all(|b| Arc::ptr_eq(b, &bundles[0])));
+    }
+}

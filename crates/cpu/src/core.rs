@@ -178,7 +178,12 @@ impl CoreSim {
 
     /// Replays `trace` against `mem`. The first `warmup_ops` operations warm
     /// the memory system; statistics cover only the remainder.
-    pub fn run(&self, trace: &[MemOp], mem: &mut impl MemorySystem, warmup_ops: usize) -> CoreResult {
+    pub fn run(
+        &self,
+        trace: &[MemOp],
+        mem: &mut impl MemorySystem,
+        warmup_ops: usize,
+    ) -> CoreResult {
         let w = u64::from(self.cfg.width);
         let rob = u64::from(self.cfg.rob);
 
@@ -410,7 +415,14 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, op)| {
-                MemOp::new(op.addr(), AccessKind::Load, op.dtype(), None, OpId(i as u64), 0)
+                MemOp::new(
+                    op.addr(),
+                    AccessKind::Load,
+                    op.dtype(),
+                    None,
+                    OpId(i as u64),
+                    0,
+                )
             })
             .collect();
         let mut mem2 = SplitMem {
@@ -475,7 +487,14 @@ mod tests {
     #[test]
     fn dram_bound_trace_shows_dram_heavy_cycle_stack() {
         let trace: Vec<MemOp> = (0..200)
-            .map(|i| load(i, 1000 + i * 97, if i % 2 == 1 { Some(i - 1) } else { None }, 2))
+            .map(|i| {
+                load(
+                    i,
+                    1000 + i * 97,
+                    if i % 2 == 1 { Some(i - 1) } else { None },
+                    2,
+                )
+            })
             .collect();
         let mut mem = SplitMem {
             split: 0,

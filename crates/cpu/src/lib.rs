@@ -36,7 +36,9 @@ pub mod depchain;
 pub mod mlp;
 pub mod stack;
 
-pub use crate::core::{AccessResponse, CoreConfig, CoreResult, CoreSim, MemorySystem, ServiceLevel};
-pub use depchain::{ChainReport, analyze_chains};
+pub use crate::core::{
+    AccessResponse, CoreConfig, CoreResult, CoreSim, MemorySystem, ServiceLevel,
+};
+pub use depchain::{analyze_chains, ChainReport};
 pub use mlp::{mlp_of_intervals, MlpStats};
 pub use stack::CycleStack;

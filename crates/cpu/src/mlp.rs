@@ -26,13 +26,13 @@ pub struct MlpStats {
 /// ```
 /// use droplet_cpu::mlp_of_intervals;
 /// // Two fully-overlapping requests: MLP 2.
-/// let stats = mlp_of_intervals(&mut vec![(0, 100), (0, 100)]);
+/// let stats = mlp_of_intervals(&mut [(0, 100), (0, 100)]);
 /// assert!((stats.avg_outstanding - 2.0).abs() < 1e-12);
 /// // Two disjoint requests: MLP 1.
-/// let stats = mlp_of_intervals(&mut vec![(0, 100), (200, 300)]);
+/// let stats = mlp_of_intervals(&mut [(0, 100), (200, 300)]);
 /// assert!((stats.avg_outstanding - 1.0).abs() < 1e-12);
 /// ```
-pub fn mlp_of_intervals(intervals: &mut Vec<(Cycle, Cycle)>) -> MlpStats {
+pub fn mlp_of_intervals(intervals: &mut [(Cycle, Cycle)]) -> MlpStats {
     let requests = intervals.len() as u64;
     if requests == 0 {
         return MlpStats {
@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn partial_overlap() {
         // [0,100) and [50,150): 200 latency cycles over 150 busy ⇒ 4/3.
-        let s = mlp_of_intervals(&mut vec![(0, 100), (50, 150)]);
+        let s = mlp_of_intervals(&mut [(0, 100), (50, 150)]);
         assert!((s.avg_outstanding - 200.0 / 150.0).abs() < 1e-12);
         assert_eq!(s.busy_cycles, 150);
         assert_eq!(s.latency_sum, 200);
@@ -96,13 +96,13 @@ mod tests {
 
     #[test]
     fn serialized_chain_has_mlp_one() {
-        let s = mlp_of_intervals(&mut vec![(0, 10), (10, 20), (20, 30)]);
+        let s = mlp_of_intervals(&mut [(0, 10), (10, 20), (20, 30)]);
         assert!((s.avg_outstanding - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn unsorted_input_is_fine() {
-        let s = mlp_of_intervals(&mut vec![(200, 300), (0, 100)]);
+        let s = mlp_of_intervals(&mut [(200, 300), (0, 100)]);
         assert!((s.avg_outstanding - 1.0).abs() < 1e-12);
     }
 }

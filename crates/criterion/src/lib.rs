@@ -1,0 +1,230 @@
+//! An offline, dependency-free subset of the [criterion](https://bheisler.github.io/criterion.rs)
+//! benchmarking API, just large enough for this workspace's `micro` bench.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the real crate cannot be fetched. This shim keeps `harness = false`
+//! criterion benches compiling and produces honest wall-clock measurements:
+//! each `bench_function` is warmed up, auto-calibrated to a per-sample
+//! iteration count targeting ~100ms, then timed over `sample_size` samples.
+//! Reported numbers are the median, min, and max ns/iter plus derived
+//! throughput when one was set.
+//!
+//! Not implemented: statistical outlier analysis, HTML reports, baselines,
+//! CLI filtering. Good enough to compare before/after on the same machine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export point matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the units-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::Calibrate {
+                target: Duration::from_millis(100),
+            },
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up + calibration pass: grow the iteration count until one
+        // sample takes roughly the target duration.
+        f(&mut b);
+        let iters = b.iters;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Measure;
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, c| a.total_cmp(c));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+
+        print!(
+            "  {name}: {} [{} .. {}] per iter ({iters} iters x {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.sample_size
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                print!(", {:.1} Melem/s", n as f64 / median * 1e3);
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                print!(", {:.1} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0));
+            }
+            _ => {}
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (no-op; present for API parity).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Calibrate { target: Duration },
+    Measure,
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times for a stable measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Calibrate { target } => {
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        hint::black_box(routine());
+                    }
+                    let took = start.elapsed();
+                    if took >= target || iters >= 1 << 30 {
+                        self.iters = iters;
+                        return;
+                    }
+                    // Jump toward the target, doubling at minimum so cheap
+                    // routines converge in a few passes.
+                    let scale = (target.as_secs_f64() / took.as_secs_f64().max(1e-9)).min(64.0);
+                    iters = (iters as f64 * scale.max(2.0)).ceil() as u64;
+                }
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    hint::black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+/// Bundles benchmark functions into a runner, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).map(black_box).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(shim_group, tiny_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        shim_group();
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(12.0), "12.0ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000s");
+    }
+}

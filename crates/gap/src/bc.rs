@@ -81,13 +81,23 @@ fn backward(g: &Csr, depth: &[u32], sigma: &[u64], waves: &[Vec<u32>]) -> Vec<f6
 }
 
 /// Traced BC; computes exactly what [`reference`] computes.
-pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget: u64) -> TraceBundle {
+pub fn traced(
+    g: &Arc<Csr>,
+    mut space: AddressSpace,
+    arrays: GraphArrays,
+    budget: u64,
+) -> TraceBundle {
     let n = g.num_vertices() as usize;
     let depth_arr = space.alloc_array("depth", DataType::Property, 4, n as u64);
     let sigma_arr = space.alloc_array("sigma", DataType::Property, 8, n as u64);
     let delta_arr = space.alloc_array("delta", DataType::Property, 8, n as u64);
     let bc_arr = space.alloc_array("bc", DataType::Property, 8, n as u64);
-    let wave_arr = space.alloc_array("wavefront", DataType::Intermediate, 4, (n as u64).max(1) * 2);
+    let wave_arr = space.alloc_array(
+        "wavefront",
+        DataType::Intermediate,
+        4,
+        (n as u64).max(1) * 2,
+    );
     let funcmem = StructureImage::new(g.clone(), &arrays);
     let mut t = VecTracer::new(space, budget);
 
@@ -113,7 +123,11 @@ pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget
                     break 'fwd;
                 }
                 t.compute(2);
-                t.load(wave_arr.addr_of(idx as u64 % ring), DataType::Intermediate, None);
+                t.load(
+                    wave_arr.addr_of(idx as u64 % ring),
+                    DataType::Intermediate,
+                    None,
+                );
                 let o = arrays.load_offsets(&mut t, u);
                 let su = t.load(sigma_arr.addr_of(u64::from(u)), DataType::Property, None);
                 let mut producer = Some(o);
@@ -126,8 +140,16 @@ pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget
                     if vd == UNSEEN {
                         depth[v as usize] = d + 1;
                         sigma[v as usize] = sigma[u as usize];
-                        t.store(depth_arr.addr_of(u64::from(v)), DataType::Property, Some(dv));
-                        t.store(sigma_arr.addr_of(u64::from(v)), DataType::Property, Some(su));
+                        t.store(
+                            depth_arr.addr_of(u64::from(v)),
+                            DataType::Property,
+                            Some(dv),
+                        );
+                        t.store(
+                            sigma_arr.addr_of(u64::from(v)),
+                            DataType::Property,
+                            Some(su),
+                        );
                         t.store(
                             wave_arr.addr_of(wave_pushes % ring),
                             DataType::Intermediate,
@@ -138,7 +160,11 @@ pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget
                     } else if vd == d + 1 {
                         sigma[v as usize] += sigma[u as usize];
                         t.load(sigma_arr.addr_of(u64::from(v)), DataType::Property, Some(s));
-                        t.store(sigma_arr.addr_of(u64::from(v)), DataType::Property, Some(su));
+                        t.store(
+                            sigma_arr.addr_of(u64::from(v)),
+                            DataType::Property,
+                            Some(su),
+                        );
                     }
                 }
             }
@@ -158,7 +184,11 @@ pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget
                         break 'bwd;
                     }
                     t.compute(3);
-                    t.load(wave_arr.addr_of(idx as u64 % ring), DataType::Intermediate, None);
+                    t.load(
+                        wave_arr.addr_of(idx as u64 % ring),
+                        DataType::Intermediate,
+                        None,
+                    );
                     let o = arrays.load_offsets(&mut t, u);
                     let mut acc = 0.0;
                     let mut producer = Some(o);
@@ -217,7 +247,16 @@ mod tests {
     fn path() -> Arc<Csr> {
         // 0 -> 1 -> 2 -> 3, symmetric; 0 has extra edge to 4 to be source.
         let mut b = CsrBuilder::new(5);
-        for (u, v) in [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (0, 4), (4, 0)] {
+        for (u, v) in [
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (0, 4),
+            (4, 0),
+        ] {
             b.push_edge(u, v);
         }
         Arc::new(b.build())

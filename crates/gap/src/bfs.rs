@@ -29,14 +29,24 @@ pub fn reference(g: &Csr) -> Vec<u32> {
 }
 
 /// Traced BFS; computes exactly what [`reference`] computes.
-pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget: u64) -> TraceBundle {
+pub fn traced(
+    g: &Arc<Csr>,
+    mut space: AddressSpace,
+    arrays: GraphArrays,
+    budget: u64,
+) -> TraceBundle {
     let n = g.num_vertices() as usize;
     let parent_arr = space.alloc_array("parent", DataType::Property, 4, n as u64);
     let fr_a = space.alloc_array("frontier_a", DataType::Intermediate, 4, n.max(1) as u64);
     let fr_b = space.alloc_array("frontier_b", DataType::Intermediate, 4, n.max(1) as u64);
     // Frontier membership bitmap for bottom-up probes (one byte per vertex
     // keeps the model simple; GAP uses a bit vector).
-    let bitmap = space.alloc_array("frontier_bitmap", DataType::Intermediate, 1, n.max(1) as u64);
+    let bitmap = space.alloc_array(
+        "frontier_bitmap",
+        DataType::Intermediate,
+        1,
+        n.max(1) as u64,
+    );
     // Bottom-up sweeps scan the incoming-edge CSR (GAP keeps both
     // directions for direction-optimizing BFS).
     let gt = Arc::new(g.transpose());
@@ -149,7 +159,8 @@ fn run(g: &Csr, gt: &Csr, mut ctx: Option<TraceCtx<'_>>) -> (Vec<u32>, bool) {
                     let v = gt.targets()[i as usize];
                     let mut s_op = None;
                     if let Some(c) = ctx.as_mut() {
-                        let s = c.t.load(c.neighbors_in.addr_of(i), DataType::Structure, None);
+                        let s =
+                            c.t.load(c.neighbors_in.addr_of(i), DataType::Structure, None);
                         c.t.load(
                             c.bitmap.addr_of(u64::from(v)),
                             DataType::Intermediate,
@@ -178,7 +189,11 @@ fn run(g: &Csr, gt: &Csr, mut ctx: Option<TraceCtx<'_>>) -> (Vec<u32>, bool) {
                 }
             }
         } else {
-            let (cur_q, next_q_sel) = if level % 2 == 0 { (0u8, 1u8) } else { (1u8, 0u8) };
+            let (cur_q, next_q_sel) = if level.is_multiple_of(2) {
+                (0u8, 1u8)
+            } else {
+                (1u8, 0u8)
+            };
             for (idx, &u) in frontier.iter().enumerate() {
                 if let Some(c) = ctx.as_mut() {
                     if budget_hit(c.t) {
@@ -358,7 +373,10 @@ mod tests {
         let arrays = GraphArrays::new(&mut space, &g);
         let bundle = traced(&g, space, arrays, u64::MAX);
         for dt in DataType::ALL {
-            assert!(bundle.ops.iter().any(|o| o.dtype() == dt), "missing {dt} ops");
+            assert!(
+                bundle.ops.iter().any(|o| o.dtype() == dt),
+                "missing {dt} ops"
+            );
         }
     }
 

@@ -46,7 +46,12 @@ pub fn reference(g: &Csr) -> Vec<u32> {
 }
 
 /// Traced CC; computes exactly what [`reference`] computes.
-pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget: u64) -> TraceBundle {
+pub fn traced(
+    g: &Arc<Csr>,
+    mut space: AddressSpace,
+    arrays: GraphArrays,
+    budget: u64,
+) -> TraceBundle {
     let n = g.num_vertices() as usize;
     let comp_arr = space.alloc_array("comp", DataType::Property, 4, n as u64);
     let funcmem = StructureImage::new(g.clone(), &arrays);
@@ -77,7 +82,11 @@ pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget
                 let cv = comp[v as usize];
                 if cv < comp[u as usize] {
                     comp[u as usize] = cv;
-                    t.store(comp_arr.addr_of(u64::from(u)), DataType::Property, Some(cu_op));
+                    t.store(
+                        comp_arr.addr_of(u64::from(u)),
+                        DataType::Property,
+                        Some(cu_op),
+                    );
                     changed = true;
                 }
                 if cu < cv {

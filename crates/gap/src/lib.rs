@@ -144,6 +144,7 @@ pub struct TraceBundle {
 }
 
 impl TraceBundle {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         algorithm: Algorithm,
         tracer: VecTracer,

@@ -46,7 +46,11 @@ impl GraphArrays {
     /// `offsets[u+1]` almost always shares the cacheline and stays in a
     /// register in real code).
     pub fn load_offsets(&self, t: &mut impl Tracer, u: u32) -> OpId {
-        t.load(self.offsets.addr_of(u64::from(u)), DataType::Intermediate, None)
+        t.load(
+            self.offsets.addr_of(u64::from(u)),
+            DataType::Intermediate,
+            None,
+        )
     }
 
     /// Emits the structure load for edge index `i`. Only the first load of

@@ -32,10 +32,19 @@ pub fn reference(g: &Csr) -> Vec<f64> {
     for _ in 0..ITERATIONS {
         for u in 0..n {
             let deg = g.out_degree(u as u32);
-            contrib[u] = if deg == 0 { 0.0 } else { scores[u] / deg as f64 };
+            contrib[u] = if deg == 0 {
+                0.0
+            } else {
+                scores[u] / deg as f64
+            };
         }
+        #[allow(clippy::needless_range_loop)]
         for u in 0..n {
-            let sum: f64 = g.neighbors(u as u32).iter().map(|&v| contrib[v as usize]).sum();
+            let sum: f64 = g
+                .neighbors(u as u32)
+                .iter()
+                .map(|&v| contrib[v as usize])
+                .sum();
             scores[u] = base + DAMPING * sum;
         }
     }
@@ -43,14 +52,23 @@ pub fn reference(g: &Csr) -> Vec<f64> {
 }
 
 /// Traced PageRank; computes exactly what [`reference`] computes.
-pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget: u64) -> TraceBundle {
+pub fn traced(
+    g: &Arc<Csr>,
+    mut space: AddressSpace,
+    arrays: GraphArrays,
+    budget: u64,
+) -> TraceBundle {
     let n = g.num_vertices() as usize;
     let contrib = space.alloc_array("contrib", DataType::Property, 8, n as u64);
     let scores_arr = space.alloc_array("scores", DataType::Property, 8, n as u64);
     let funcmem = StructureImage::new(g.clone(), &arrays);
     let mut t = VecTracer::new(space, budget);
 
-    let base = if n == 0 { 0.0 } else { (1.0 - DAMPING) / n as f64 };
+    let base = if n == 0 {
+        0.0
+    } else {
+        (1.0 - DAMPING) / n as f64
+    };
     let mut scores = vec![if n == 0 { 0.0 } else { 1.0 / n as f64 }; n];
     let mut contrib_v = vec![0.0f64; n];
     let mut completed = true;
@@ -74,9 +92,14 @@ pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget
                 t.store(contrib.addr_of(u as u64), DataType::Property, None);
             }
             let deg = g.out_degree(u as u32);
-            contrib_v[u] = if deg == 0 { 0.0 } else { scores[u] / deg as f64 };
+            contrib_v[u] = if deg == 0 {
+                0.0
+            } else {
+                scores[u] / deg as f64
+            };
         }
         // Gather pass.
+        #[allow(clippy::needless_range_loop)]
         for u in 0..n {
             if budget_hit(&t) {
                 completed = false;

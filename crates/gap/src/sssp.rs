@@ -26,16 +26,16 @@ pub fn reference(g: &Csr) -> Vec<u32> {
 }
 
 /// Traced SSSP; computes exactly what [`reference`] computes.
-pub fn traced(g: &Arc<Csr>, mut space: AddressSpace, arrays: GraphArrays, budget: u64) -> TraceBundle {
+pub fn traced(
+    g: &Arc<Csr>,
+    mut space: AddressSpace,
+    arrays: GraphArrays,
+    budget: u64,
+) -> TraceBundle {
     let n = g.num_vertices() as usize;
     let dist_arr = space.alloc_array("dist", DataType::Property, 4, n as u64);
     // Bins modeled as a ring of intermediate storage.
-    let bins_arr = space.alloc_array(
-        "bins",
-        DataType::Intermediate,
-        4,
-        (n as u64).max(1) * 2,
-    );
+    let bins_arr = space.alloc_array("bins", DataType::Intermediate, 4, (n as u64).max(1) * 2);
     let funcmem = StructureImage::new(g.clone(), &arrays);
     let mut t = VecTracer::new(space, budget);
 

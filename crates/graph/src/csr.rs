@@ -102,7 +102,10 @@ impl Csr {
         let offsets = counts.clone();
         let mut cursor = counts;
         let mut targets = vec![0u32; self.targets.len()];
-        let mut weights = self.weights.as_ref().map(|_| vec![0u32; self.targets.len()]);
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0u32; self.targets.len()]);
         for u in 0..self.num_vertices {
             for i in self.edge_range(u) {
                 let v = self.targets[i as usize] as usize;
@@ -175,14 +178,23 @@ impl CsrBuilder {
 
     /// Adds a directed edge (non-consuming form for loops).
     pub fn push_edge(&mut self, u: u32, v: u32) {
-        assert!(u < self.num_vertices && v < self.num_vertices, "edge out of range");
-        assert!(self.weights.is_none(), "mixing weighted and unweighted edges");
+        assert!(
+            u < self.num_vertices && v < self.num_vertices,
+            "edge out of range"
+        );
+        assert!(
+            self.weights.is_none(),
+            "mixing weighted and unweighted edges"
+        );
         self.edges.push((u, v));
     }
 
     /// Adds a weighted directed edge.
     pub fn push_weighted_edge(&mut self, u: u32, v: u32, w: u32) {
-        assert!(u < self.num_vertices && v < self.num_vertices, "edge out of range");
+        assert!(
+            u < self.num_vertices && v < self.num_vertices,
+            "edge out of range"
+        );
         assert!(
             self.edges.len() == self.weights.as_ref().map_or(0, Vec::len),
             "mixing weighted and unweighted edges"

@@ -9,8 +9,7 @@
 //!   diameter, tiny degree, strong locality.
 
 use crate::csr::{Csr, CsrBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 /// RMAT quadrant probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,9 +37,21 @@ impl RmatSkew {
     /// The quadrant probabilities for this preset.
     pub fn params(self) -> RmatParams {
         match self {
-            RmatSkew::Kron => RmatParams { a: 0.57, b: 0.19, c: 0.19 },
-            RmatSkew::Social => RmatParams { a: 0.55, b: 0.22, c: 0.22 },
-            RmatSkew::Community => RmatParams { a: 0.59, b: 0.18, c: 0.18 },
+            RmatSkew::Kron => RmatParams {
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+            },
+            RmatSkew::Social => RmatParams {
+                a: 0.55,
+                b: 0.22,
+                c: 0.22,
+            },
+            RmatSkew::Community => RmatParams {
+                a: 0.59,
+                b: 0.18,
+                c: 0.18,
+            },
         }
     }
 }
@@ -71,14 +82,14 @@ fn rmat_with(scale: u32, edge_factor: u64, p: RmatParams, seed: u64, weighted: b
     assert!(scale > 0 && scale < 32, "scale must be in 1..32");
     let n: u32 = 1 << scale;
     let m = edge_factor * u64::from(n);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x524d_4154);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x524d_4154);
     let mut b = CsrBuilder::with_capacity(n, m as usize);
     for _ in 0..m {
         let (mut u, mut v) = (0u32, 0u32);
         for _ in 0..scale {
             u <<= 1;
             v <<= 1;
-            let r: f64 = rng.gen();
+            let r = rng.next_f64();
             if r < p.a {
                 // (0, 0): nothing to add.
             } else if r < p.a + p.b {
@@ -91,7 +102,7 @@ fn rmat_with(scale: u32, edge_factor: u64, p: RmatParams, seed: u64, weighted: b
             }
         }
         if weighted {
-            b.push_weighted_edge(u, v, rng.gen_range(1..=255));
+            b.push_weighted_edge(u, v, rng.between(1, 255));
         } else {
             b.push_edge(u, v);
         }
@@ -112,13 +123,13 @@ pub fn uniform_weighted(n: u32, m: u64, seed: u64) -> Csr {
 
 fn uniform_with(n: u32, m: u64, seed: u64, weighted: bool) -> Csr {
     assert!(n > 1, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5552_414e_44);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x0055_5241_4e44);
     let mut b = CsrBuilder::with_capacity(n, m as usize);
     for _ in 0..m {
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.below(n);
+        let v = rng.below(n);
         if weighted {
-            b.push_weighted_edge(u, v, rng.gen_range(1..=255));
+            b.push_weighted_edge(u, v, rng.between(1, 255));
         } else {
             b.push_edge(u, v);
         }
@@ -154,12 +165,12 @@ fn grid_with(rows: u32, cols: u32, shortcut_per_mille: u32, seed: u64, weighted:
         .checked_mul(cols)
         .expect("grid dimensions overflow u32");
     assert!(n > 1, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4752_4944);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x4752_4944);
     let id = |r: u32, c: u32| r * cols + c;
     let mut b = CsrBuilder::with_capacity(n, (4 * n) as usize);
-    let add = |b: &mut CsrBuilder, u: u32, v: u32, rng: &mut StdRng| {
+    let add = |b: &mut CsrBuilder, u: u32, v: u32, rng: &mut SimRng| {
         if weighted {
-            b.push_weighted_edge(u, v, rng.gen_range(1..=255));
+            b.push_weighted_edge(u, v, rng.between(1, 255));
         } else {
             b.push_edge(u, v);
         }
@@ -179,8 +190,8 @@ fn grid_with(rows: u32, cols: u32, shortcut_per_mille: u32, seed: u64, weighted:
     }
     let shortcuts = u64::from(n) * u64::from(shortcut_per_mille) / 1000;
     for _ in 0..shortcuts {
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.below(n);
+        let v = rng.below(n);
         add(&mut b, u, v, &mut rng);
         add(&mut b, v, u, &mut rng);
     }
@@ -207,7 +218,11 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // Hub vertices should dominate: the max degree far exceeds the mean.
         let mean = g.avg_degree();
-        assert!(degrees[0] as f64 > 5.0 * mean, "max {} mean {mean}", degrees[0]);
+        assert!(
+            degrees[0] as f64 > 5.0 * mean,
+            "max {} mean {mean}",
+            degrees[0]
+        );
         // And no self loops survive dedup.
         for u in 0..g.num_vertices() {
             assert!(!g.neighbors(u).contains(&u));
@@ -219,7 +234,10 @@ mod tests {
         let g = uniform(1024, 16 * 1024, 5);
         let mean = g.avg_degree();
         assert!(mean > 12.0 && mean <= 16.0, "mean {mean}");
-        let max = (0..g.num_vertices()).map(|u| g.out_degree(u)).max().unwrap();
+        let max = (0..g.num_vertices())
+            .map(|u| g.out_degree(u))
+            .max()
+            .unwrap();
         assert!((max as f64) < 4.0 * mean, "uniform graphs have no hubs");
     }
 

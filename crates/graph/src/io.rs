@@ -84,8 +84,10 @@ pub fn read_edge_list(reader: impl Read, weighted: bool) -> Result<Csr, LoadGrap
         let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
             return Err(LoadGraphError::Parse(idx + 1, line.clone()));
         };
-        let parse =
-            |s: &str| s.parse::<u32>().map_err(|_| LoadGraphError::Parse(idx + 1, line.clone()));
+        let parse = |s: &str| {
+            s.parse::<u32>()
+                .map_err(|_| LoadGraphError::Parse(idx + 1, line.clone()))
+        };
         let (u, v) = (parse(a)?, parse(b)?);
         let w = match parts.next() {
             Some(ws) if weighted => parse(ws)?,

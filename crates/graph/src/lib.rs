@@ -23,6 +23,7 @@ pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
+pub mod rng;
 pub mod stats;
 
 pub use csr::{Csr, CsrBuilder};

@@ -276,7 +276,11 @@ mod tests {
         assert_eq!(r.queue_delay, 0, "demand must preempt prefetch occupancy");
         // But a new prefetch waits behind everything.
         let p = d.request(0, 0, true);
-        assert!(p.queue_delay > 100, "prefetch queue delay {}", p.queue_delay);
+        assert!(
+            p.queue_delay > 100,
+            "prefetch queue delay {}",
+            p.queue_delay
+        );
     }
 
     #[test]

@@ -124,7 +124,7 @@ mod tests {
         MrbEntry {
             pline,
             vline: pline,
-            c_bit: pline % 2 == 0,
+            c_bit: pline.is_multiple_of(2),
             core: 0,
             complete_at: t,
         }

@@ -146,8 +146,7 @@ impl Prefetcher for GhbPrefetcher {
 
         if let Some(prev_pos) = key_and_prev.1 {
             let mut addr = line as i64;
-            let mut pos = prev_pos;
-            for _ in 0..self.cfg.degree {
+            for pos in prev_pos..prev_pos + self.cfg.degree as u64 {
                 let (Some(cur), Some(next)) = (self.ring_get(pos), self.ring_get(pos + 1)) else {
                     break;
                 };
@@ -162,7 +161,6 @@ impl Prefetcher for GhbPrefetcher {
                     into_l3_queue: false,
                 });
                 self.issued += 1;
-                pos += 1;
             }
         }
 

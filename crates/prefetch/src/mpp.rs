@@ -51,7 +51,9 @@ impl MppConfig {
         // VAB: 48-bit virtual line address + 2-bit core ID ≈ 7 B/entry.
         // PAB: 48-bit physical line address + 2-bit core ID ≈ 7 B/entry.
         // MTLB: tag + frame + bits ≈ 13 B/entry.
-        (self.vab_entries as u64 * 7) + (self.pab_entries as u64 * 7) + (self.mtlb_entries as u64 * 13)
+        (self.vab_entries as u64 * 7)
+            + (self.pab_entries as u64 * 7)
+            + (self.mtlb_entries as u64 * 13)
     }
 }
 
@@ -143,7 +145,10 @@ impl Mpp {
     ///
     /// Panics if `targets` is empty or any element size is not 4 or 8.
     pub fn new_multi(cfg: MppConfig, targets: Vec<PropertyTarget>) -> Self {
-        assert!(!targets.is_empty(), "the MPP needs at least one property array");
+        assert!(
+            !targets.is_empty(),
+            "the MPP needs at least one property array"
+        );
         for t in &targets {
             assert!(
                 t.elem_bytes == 4 || t.elem_bytes == 8,
@@ -239,7 +244,8 @@ impl Mpp {
                     e
                 }
             };
-            let pline = (entry.frame * droplet_trace::PAGE_BYTES + vaddr.page_offset()) / LINE_BYTES;
+            let pline =
+                (entry.frame * droplet_trace::PAGE_BYTES + vaddr.page_offset()) / LINE_BYTES;
 
             self.outstanding += 1;
             self.stats.candidates += 1;
@@ -296,7 +302,7 @@ mod tests {
     impl FunctionalMemory for Image<'_> {
         fn neighbor_id_at(&self, addr: VirtAddr) -> Option<u32> {
             let i = self.w.neighbors.index_of(addr)?;
-            if addr.raw() % 4 != 0 {
+            if !addr.raw().is_multiple_of(4) {
                 return None;
             }
             self.w.ids.get(i as usize).copied()
@@ -451,7 +457,10 @@ mod tests {
             &mut out,
         );
         let prop_vpn = w.prop_base.page_number();
-        assert!(!mpp.shootdown_page(prop_vpn, true), "structure shootdowns skipped");
+        assert!(
+            !mpp.shootdown_page(prop_vpn, true),
+            "structure shootdowns skipped"
+        );
         assert!(mpp.shootdown_page(prop_vpn, false));
         assert!(!mpp.shootdown_page(prop_vpn, false), "already gone");
         let _ = &w.space;

@@ -96,7 +96,10 @@ mod tests {
         let mut pf = NextLinePrefetcher::new(3);
         let mut out = Vec::new();
         pf.on_access(&miss(100), &mut out);
-        assert_eq!(out.iter().map(|r| r.vline).collect::<Vec<_>>(), vec![101, 102, 103]);
+        assert_eq!(
+            out.iter().map(|r| r.vline).collect::<Vec<_>>(),
+            vec![101, 102, 103]
+        );
         assert_eq!(pf.issued(), 3);
         assert_eq!(pf.name(), "next-line");
     }

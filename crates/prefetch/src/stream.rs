@@ -114,7 +114,10 @@ impl StreamPrefetcher {
     ///
     /// Panics if the configuration has zero trackers or zero distance.
     pub fn new(cfg: StreamConfig) -> Self {
-        assert!(cfg.trackers > 0 && cfg.distance > 0, "degenerate stream config");
+        assert!(
+            cfg.trackers > 0 && cfg.distance > 0,
+            "degenerate stream config"
+        );
         StreamPrefetcher {
             trackers: Vec::with_capacity(cfg.trackers),
             cfg,
@@ -343,7 +346,11 @@ mod tests {
         let base = 64 * 3 + 40;
         let out = drive(
             &mut pf,
-            &[miss(base, false), miss(base - 1, false), miss(base - 2, false)],
+            &[
+                miss(base, false),
+                miss(base - 1, false),
+                miss(base - 2, false),
+            ],
         );
         assert!(!out.is_empty());
         assert_eq!(out[0].vline, base - 3);
@@ -389,7 +396,11 @@ mod tests {
         let base = 64 * 8;
         let mut all = drive(
             &mut pf,
-            &[miss(base, false), miss(base + 1, false), miss(base + 2, false)],
+            &[
+                miss(base, false),
+                miss(base + 1, false),
+                miss(base + 2, false),
+            ],
         );
         all.extend(drive(&mut pf, &[miss(base + 3, false)]));
         // No duplicates, all ahead of the trigger, within distance 16.
@@ -419,10 +430,7 @@ mod tests {
     #[test]
     fn data_aware_trains_on_structure_and_targets_l3_queue() {
         let mut pf = StreamPrefetcher::new(StreamConfig::data_aware());
-        let out = drive(
-            &mut pf,
-            &[miss(64, true), miss(65, true), l2_hit(66, true)],
-        );
+        let out = drive(&mut pf, &[miss(64, true), miss(65, true), l2_hit(66, true)]);
         assert!(!out.is_empty());
         assert!(out.iter().all(|r| r.into_l3_queue));
         assert!(out.iter().all(|r| r.dtype == DataType::Structure));

@@ -129,7 +129,9 @@ impl VldpPrefetcher {
         VldpPrefetcher {
             drb: Vec::with_capacity(cfg.drb_pages),
             opt: vec![None; cfg.opt_entries],
-            dpt: (0..cfg.levels).map(|_| DeltaTable::new(cfg.dpt_entries)).collect(),
+            dpt: (0..cfg.levels)
+                .map(|_| DeltaTable::new(cfg.dpt_entries))
+                .collect(),
             cfg,
             clock: 0,
             issued: 0,
@@ -152,7 +154,13 @@ impl VldpPrefetcher {
         None
     }
 
-    fn emit(&mut self, page: u64, offset: i64, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) -> bool {
+    fn emit(
+        &mut self,
+        page: u64,
+        offset: i64,
+        ev: &AccessEvent,
+        out: &mut Vec<PrefetchRequest>,
+    ) -> bool {
         if offset < 0 || offset >= Self::lines_per_page() {
             return false;
         }

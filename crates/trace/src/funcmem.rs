@@ -55,7 +55,7 @@ mod tests {
         fn neighbor_id_at(&self, addr: VirtAddr) -> Option<u32> {
             let base = 0x1000u64;
             let raw = addr.raw();
-            if raw < base || raw >= base + 40 || (raw - base) % 4 != 0 {
+            if raw < base || raw >= base + 40 || !(raw - base).is_multiple_of(4) {
                 return None;
             }
             Some(100 + ((raw - base) / 4) as u32)

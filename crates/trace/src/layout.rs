@@ -248,7 +248,10 @@ mod tests {
         let a = s.alloc("a", DataType::Structure, 4096);
         let b = s.alloc("b", DataType::Property, 4096);
         assert_eq!(s.data_type(a.base()), Some(DataType::Structure));
-        assert_eq!(s.data_type(a.base().add_bytes(4095)), Some(DataType::Structure));
+        assert_eq!(
+            s.data_type(a.base().add_bytes(4095)),
+            Some(DataType::Structure)
+        );
         assert_eq!(s.data_type(b.base()), Some(DataType::Property));
         // Guard page belongs to nobody.
         assert_eq!(s.data_type(a.base().add_bytes(4096)), None);

@@ -67,7 +67,10 @@ impl Tlb {
 
     /// Probes without updating LRU or stats.
     pub fn probe(&self, vpn: u64) -> Option<PageEntry> {
-        self.entries.iter().find(|(v, _)| *v == vpn).map(|(_, e)| *e)
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == vpn)
+            .map(|(_, e)| *e)
     }
 
     /// Invalidates a single page, returning whether it was present.
@@ -126,7 +129,7 @@ mod tests {
     fn e(frame: u64) -> PageEntry {
         PageEntry {
             frame,
-            structure: frame % 2 == 0,
+            structure: frame.is_multiple_of(2),
         }
     }
 

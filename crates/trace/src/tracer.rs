@@ -81,7 +81,13 @@ impl VecTracer {
         }
     }
 
-    fn push(&mut self, addr: VirtAddr, kind: AccessKind, dtype: DataType, producer: Option<OpId>) -> OpId {
+    fn push(
+        &mut self,
+        addr: VirtAddr,
+        kind: AccessKind,
+        dtype: DataType,
+        producer: Option<OpId>,
+    ) -> OpId {
         debug_assert_eq!(
             self.space.data_type(addr),
             Some(dtype),
@@ -91,7 +97,8 @@ impl VecTracer {
         let pre = self.pending_compute.min(u32::from(u16::MAX)) as u16;
         self.pending_compute = 0;
         self.total_instructions += u64::from(pre) + 1;
-        self.ops.push(MemOp::new(addr, kind, dtype, producer, id, pre));
+        self.ops
+            .push(MemOp::new(addr, kind, dtype, producer, id, pre));
         id
     }
 

@@ -53,7 +53,10 @@ fn main() {
             pct(base.core.cycle_stack.busy_fraction()),
             pct(base.core.cycle_stack.dram_fraction()),
             format!("{:.2}", base.core.mlp.avg_outstanding),
-            format!("{:.3}x", base.core.cycles as f64 / big.core.cycles.max(1) as f64),
+            format!(
+                "{:.3}x",
+                base.core.cycles as f64 / big.core.cycles.max(1) as f64
+            ),
         ]);
 
         let chains = analyze_chains(&bundle.ops, ctx.base.core.rob);

@@ -68,10 +68,13 @@ fn main() {
         "BPKI".into(),
     ]);
     for kind in PrefetcherKind::EVALUATED {
-        let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+        let r = run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup);
         table.row(vec![
             kind.name().into(),
-            format!("{:.2}x", base.core.cycles as f64 / r.core.cycles.max(1) as f64),
+            format!(
+                "{:.2}x",
+                base.core.cycles as f64 / r.core.cycles.max(1) as f64
+            ),
             format!("{:.1}%", 100.0 * r.l2_hit_rate()),
             format!("{:.1}", r.llc_mpki()),
             format!("{:.0}%", 100.0 * r.prefetch_accuracy(DataType::Structure)),

@@ -45,7 +45,7 @@ fn main() {
     println!("  LLC MPKI      {:.1}", base.llc_mpki());
     println!("  L2 hit rate   {:.1}%", 100.0 * base.l2_hit_rate());
 
-    let cfg = ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet);
+    let cfg = ctx.base.with_prefetcher(PrefetcherKind::Droplet);
     let drop = run_workload(&bundle, &cfg, ctx.warmup);
     println!("\nDROPLET (data-aware decoupled prefetcher):");
     println!("  cycles        {}", drop.core.cycles);

@@ -30,26 +30,36 @@ fn main() {
     let source = pick_source(&graph);
     let dist = sssp::reference(&graph);
     let reachable = dist.iter().filter(|&&d| d != sssp::INF).count();
-    let max_dist = dist.iter().filter(|&&d| d != sssp::INF).max().copied().unwrap_or(0);
-    println!(
-        "source intersection {source}: {reachable} reachable, farthest cost {max_dist}\n"
-    );
+    let max_dist = dist
+        .iter()
+        .filter(|&&d| d != sssp::INF)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    println!("source intersection {source}: {reachable} reachable, farthest cost {max_dist}\n");
 
     // Architecture study: which prefetcher drives the navigation fastest?
     let bundle = spec.build_trace_with_budget(ctx.budget);
     let base = run_workload(&bundle, &ctx.base, ctx.warmup);
     let mut table = Table::new(vec!["config".into(), "cycles".into(), "speedup".into()]);
-    table.row(vec!["baseline".into(), base.core.cycles.to_string(), "1.00x".into()]);
+    table.row(vec![
+        "baseline".into(),
+        base.core.cycles.to_string(),
+        "1.00x".into(),
+    ]);
     for kind in [
         PrefetcherKind::Stream,
         PrefetcherKind::StreamMpp1,
         PrefetcherKind::Droplet,
     ] {
-        let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+        let r = run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup);
         table.row(vec![
             kind.name().into(),
             r.core.cycles.to_string(),
-            format!("{:.2}x", base.core.cycles as f64 / r.core.cycles.max(1) as f64),
+            format!(
+                "{:.2}x",
+                base.core.cycles as f64 / r.core.cycles.max(1) as f64
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -57,7 +57,11 @@ fn traced_sssp_equals_reference_on_every_dataset() {
         let g = tiny(dataset, true);
         let bundle = Algorithm::Sssp.trace(&g, u64::MAX);
         assert!(bundle.completed);
-        assert_eq!(bundle.digest, Digest::Ints(sssp::reference(&g)), "{dataset}");
+        assert_eq!(
+            bundle.digest,
+            Digest::Ints(sssp::reference(&g)),
+            "{dataset}"
+        );
     }
 }
 
@@ -67,7 +71,11 @@ fn traced_bc_equals_reference_on_every_dataset() {
         let g = tiny(dataset, false);
         let bundle = Algorithm::Bc.trace(&g, u64::MAX);
         assert!(bundle.completed);
-        assert_eq!(bundle.digest, Digest::Floats(bc::reference(&g)), "{dataset}");
+        assert_eq!(
+            bundle.digest,
+            Digest::Floats(bc::reference(&g)),
+            "{dataset}"
+        );
     }
 }
 
@@ -90,7 +98,10 @@ fn every_trace_is_dominated_by_typed_memory_ops() {
             .count();
         let loads = bundle.ops.iter().filter(|o| o.is_load()).count();
         assert!(structure > 0 && property > 0, "{algorithm}");
-        assert!(loads * 2 > bundle.len(), "{algorithm}: loads should dominate");
+        assert!(
+            loads * 2 > bundle.len(),
+            "{algorithm}: loads should dominate"
+        );
         assert!(bundle.instructions >= bundle.len() as u64);
     }
 }
@@ -105,8 +116,11 @@ fn simulation_is_deterministic() {
     };
     let bundle_a = spec.build_trace_with_budget(ctx.budget);
     let bundle_b = spec.build_trace_with_budget(ctx.budget);
-    assert_eq!(bundle_a.ops, bundle_b.ops, "trace generation must be deterministic");
-    let cfg = ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet);
+    assert_eq!(
+        bundle_a.ops, bundle_b.ops,
+        "trace generation must be deterministic"
+    );
+    let cfg = ctx.base.with_prefetcher(PrefetcherKind::Droplet);
     let a = run_workload(&bundle_a, &cfg, ctx.warmup);
     let b = run_workload(&bundle_b, &cfg, ctx.warmup);
     assert_eq!(a.core.cycles, b.core.cycles);
@@ -124,7 +138,7 @@ fn hierarchy_counters_are_conserved_across_all_configs() {
         };
         let bundle = spec.build_trace_with_budget(ctx.budget);
         for kind in std::iter::once(PrefetcherKind::None).chain(PrefetcherKind::EVALUATED) {
-            let r = run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup);
+            let r = run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup);
             let l2 = r.l2.expect("baseline config has an L2");
             assert_eq!(
                 r.l1.demand_misses().total(),
@@ -176,7 +190,7 @@ fn bc_registers_multi_property_targets_and_mpp_uses_them() {
     let ctx = ExperimentCtx::tiny();
     let r = run_workload(
         &bundle,
-        &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+        &ctx.base.with_prefetcher(PrefetcherKind::Droplet),
         1_000,
     );
     let mpp = r.mpp.expect("DROPLET has an MPP");
@@ -199,7 +213,7 @@ fn bfs_direction_optimization_creates_structure_streams() {
     let ctx = ExperimentCtx::tiny();
     let r = run_workload(
         &bundle,
-        &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+        &ctx.base.with_prefetcher(PrefetcherKind::Droplet),
         1_000,
     );
     assert!(
@@ -222,12 +236,12 @@ fn mono_variant_times_property_prefetch_later_than_droplet() {
     let bundle = spec.build_trace_with_budget(ctx.budget);
     let droplet = run_workload(
         &bundle,
-        &ctx.base.clone().with_prefetcher(PrefetcherKind::Droplet),
+        &ctx.base.with_prefetcher(PrefetcherKind::Droplet),
         ctx.warmup,
     );
     let mono = run_workload(
         &bundle,
-        &ctx.base.clone().with_prefetcher(PrefetcherKind::MonoDropletL1),
+        &ctx.base.with_prefetcher(PrefetcherKind::MonoDropletL1),
         ctx.warmup,
     );
     assert!(

@@ -18,7 +18,7 @@ fn run(algorithm: Algorithm, dataset: Dataset, kind: PrefetcherKind) -> RunResul
         scale: ctx.scale,
     };
     let bundle = spec.build_trace_with_budget(ctx.budget);
-    run_workload(&bundle, &ctx.base.clone().with_prefetcher(kind), ctx.warmup)
+    run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup)
 }
 
 /// Observation of Fig. 1: graph analytics is DRAM-stall dominated.
@@ -131,7 +131,8 @@ fn llc_capacity_helps_property_not_structure() {
     big_cfg.l3 = sweep[1].clone();
     let small = run_workload(&bundle, &small_cfg, ctx.warmup);
     let big = run_workload(&bundle, &big_cfg, ctx.warmup);
-    let prop_gain = small.offchip_fraction(DataType::Property) - big.offchip_fraction(DataType::Property);
+    let prop_gain =
+        small.offchip_fraction(DataType::Property) - big.offchip_fraction(DataType::Property);
     let struct_gain =
         small.offchip_fraction(DataType::Structure) - big.offchip_fraction(DataType::Structure);
     assert!(

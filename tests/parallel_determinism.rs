@@ -1,0 +1,79 @@
+//! Parallel execution must be invisible in the results: `run_study` over
+//! the worker pool has to produce bit-identical rows to the fully serial
+//! path, and the `DROPLET_THREADS` override has to reach pools built from
+//! the environment.
+//!
+//! These tests set `DROPLET_THREADS`, so they live in their own test
+//! binary: integration tests in one binary share a process (and its
+//! environment) across concurrently running tests.
+
+use droplet::experiments::prefetch_study::{run_study, StudyRow};
+use droplet::experiments::ExperimentCtx;
+use droplet::pool::{JobPool, THREADS_ENV};
+use droplet::PrefetcherKind;
+use std::sync::Mutex;
+
+const KINDS: [PrefetcherKind; 2] = [PrefetcherKind::Stream, PrefetcherKind::Droplet];
+
+/// Both tests mutate `DROPLET_THREADS`; the harness runs tests on
+/// concurrent threads of one process, so serialize the env accesses.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Exact comparison — determinism means bit-identical floats, not just
+/// approximately equal metrics.
+fn assert_rows_identical(a: &[StudyRow], b: &[StudyRow]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.algorithm, y.algorithm);
+        assert_eq!(x.kind, y.kind);
+        assert_eq!(x.cycles, y.cycles, "{} / {:?}", x.label, x.kind);
+        assert_eq!(x.speedup.to_bits(), y.speedup.to_bits());
+        assert_eq!(x.l2_hit_rate.to_bits(), y.l2_hit_rate.to_bits());
+        for i in 0..3 {
+            assert_eq!(
+                x.llc_mpki_by_type[i].to_bits(),
+                y.llc_mpki_by_type[i].to_bits()
+            );
+            assert_eq!(
+                x.accuracy_by_type[i].to_bits(),
+                y.accuracy_by_type[i].to_bits()
+            );
+        }
+        assert_eq!(x.bpki.to_bits(), y.bpki.to_bits());
+    }
+}
+
+#[test]
+fn study_is_identical_serial_vs_parallel() {
+    // Serial via env override, parallel via an explicit 4-worker pool; both
+    // share one process-wide graph cache but separate trace caches.
+    let serial_ctx = {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var(THREADS_ENV, "1");
+        let ctx = ExperimentCtx::tiny();
+        std::env::remove_var(THREADS_ENV);
+        ctx
+    };
+    assert_eq!(serial_ctx.pool.threads(), 1);
+    let serial = run_study(&serial_ctx, &KINDS);
+
+    let parallel_ctx = ExperimentCtx::tiny().with_threads(4);
+    let parallel = run_study(&parallel_ctx, &KINDS);
+
+    assert_rows_identical(&serial.baselines, &parallel.baselines);
+    assert_rows_identical(&serial.rows, &parallel.rows);
+}
+
+#[test]
+fn env_override_controls_pool_width() {
+    let _env = ENV_LOCK.lock().unwrap();
+    std::env::set_var(THREADS_ENV, "3");
+    assert_eq!(JobPool::from_env().threads(), 3);
+    // Garbage and zero fall back to available parallelism (>= 1).
+    std::env::set_var(THREADS_ENV, "0");
+    assert!(JobPool::from_env().threads() >= 1);
+    std::env::set_var(THREADS_ENV, "not-a-number");
+    assert!(JobPool::from_env().threads() >= 1);
+    std::env::remove_var(THREADS_ENV);
+}
