@@ -3,7 +3,7 @@
 //! generation, and a whole-system op-replay rate. These gate the wall-clock
 //! budget of the figure benches.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{Criterion, Throughput};
 use droplet::cache::{CacheConfig, FillInfo, ReuseProfiler, SetAssocCache};
 use droplet::gap::Algorithm;
 use droplet::graph::{Dataset, DatasetScale};
@@ -84,12 +84,28 @@ fn bench_system_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_reuse_profiler,
-    bench_pag_scan,
-    bench_trace_generation,
-    bench_system_replay
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_cache(&mut c);
+    bench_reuse_profiler(&mut c);
+    bench_pag_scan(&mut c);
+    bench_trace_generation(&mut c);
+    bench_system_replay(&mut c);
+
+    // Export µs/iter per micro bench to the cross-PR perf report.
+    use droplet_bench::bench_json;
+    let entries: Vec<(String, String)> = c
+        .take_results()
+        .into_iter()
+        .map(|r| {
+            (
+                format!("{}/{}", r.group, r.name),
+                format!("{:.3}", r.median_ns / 1e3),
+            )
+        })
+        .collect();
+    let path = bench_json::default_report_path();
+    bench_json::write_section(&path, "micro_us_per_iter", &bench_json::object(&entries))
+        .expect("write BENCH_engine.json");
+    println!("wrote section \"micro_us_per_iter\" to {}", path.display());
+}

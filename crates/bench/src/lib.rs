@@ -7,6 +7,8 @@
 //! the full suite can be smoke-tested quickly, and `DROPLET_BUDGET`
 //! overrides the per-workload trace-op budget.
 
+pub mod bench_json;
+
 use droplet::experiments::ExperimentCtx;
 use droplet::graph::DatasetScale;
 

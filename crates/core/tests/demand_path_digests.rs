@@ -1,0 +1,215 @@
+//! Golden-digest regression test for the per-op demand path.
+//!
+//! Replays a small deterministic trace through every prefetcher
+//! configuration and asserts an exact FNV-1a digest over *every* counter the
+//! simulator reports: core timing, per-level cache statistics, DRAM traffic,
+//! MPP activity, and the orchestration stats. The expected values were
+//! captured before the demand-path flattening (lazy translation, stamp-LRU
+//! TLB, in-cache prefetch tags, heap MSHR) landed, so any semantic drift in
+//! that refactor — or in future ones — shows up as a digest mismatch rather
+//! than a subtle statistics skew.
+//!
+//! If a *deliberate* behaviour change invalidates a digest, re-capture it by
+//! running the test and copying the `actual` value from the failure message
+//! (each run prints the full digest table on mismatch).
+
+use droplet::gap::Algorithm;
+use droplet::graph::{Dataset, DatasetScale};
+use droplet::trace::DataType;
+use droplet::{run_workload, PrefetcherKind, RunResult, SystemConfig};
+use std::sync::Arc;
+
+/// 64-bit FNV-1a over a stream of words.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn opt(&mut self, w: Option<u64>) {
+        match w {
+            Some(v) => {
+                self.word(1);
+                self.word(v);
+            }
+            None => self.word(0),
+        }
+    }
+
+    fn typed(&mut self, c: &droplet::cache::TypedCounter) {
+        for dt in DataType::ALL {
+            self.word(c.get(dt));
+        }
+    }
+
+    fn cache(&mut self, s: &droplet::cache::CacheStats) {
+        self.typed(&s.demand_accesses);
+        self.typed(&s.demand_hits);
+        self.typed(&s.late_prefetch_hits);
+        self.typed(&s.prefetch_first_uses);
+        self.typed(&s.prefetch_fills);
+        self.typed(&s.prefetch_unused_evictions);
+        self.typed(&s.demand_fills);
+        self.word(s.inclusion_invalidations);
+    }
+}
+
+/// Folds every observable of a run into one digest word.
+fn digest(r: &RunResult) -> u64 {
+    let mut d = Digest::new();
+    d.word(r.core.cycles);
+    d.word(r.core.instructions);
+    d.word(r.core.memops);
+    d.word(r.core.loads);
+    for s in r.core.serviced_by {
+        d.word(s);
+    }
+    let st = &r.core.cycle_stack;
+    for w in [st.base, st.l1, st.l2, st.l3, st.dram, st.other] {
+        d.word(w);
+    }
+    d.word(r.core.mlp.avg_outstanding.to_bits());
+    d.word(r.core.mlp.busy_cycles);
+    d.word(r.core.mlp.latency_sum);
+    d.word(r.core.mlp.requests);
+
+    d.cache(&r.l1);
+    match &r.l2 {
+        Some(l2) => {
+            d.word(1);
+            d.cache(l2);
+        }
+        None => d.word(0),
+    }
+    d.cache(&r.l3);
+
+    d.word(r.dram.demand_accesses);
+    d.word(r.dram.prefetch_accesses);
+    d.word(r.dram.bus_busy_cycles);
+    d.word(r.dram.queue_delay_cycles);
+    d.opt(r.dram.first_request_at);
+    d.word(r.dram.last_complete_at);
+
+    match &r.mpp {
+        Some(m) => {
+            d.word(1);
+            for w in [
+                m.lines_scanned,
+                m.ids_scanned,
+                m.candidates,
+                m.buffer_drops,
+                m.page_fault_drops,
+                m.out_of_bounds,
+                m.mtlb_walks,
+            ] {
+                d.word(w);
+            }
+        }
+        None => d.word(0),
+    }
+
+    d.word(r.sys.prefetch_unmapped_drops);
+    d.word(r.sys.prefetch_redundant);
+    d.word(r.sys.mpp_copied_from_llc);
+    d.word(r.sys.mpp_redundant);
+    d.word(r.sys.writebacks);
+    d.word(r.sys.dtlb_misses);
+    d.typed(&r.sys.prefetch_useful);
+    d.typed(&r.sys.prefetch_wasted);
+    d.opt(r.sys.adaptive_locked_data_aware.map(u64::from));
+    d.0
+}
+
+/// The evaluated kinds plus the no-prefetcher baseline and the adaptive
+/// extension: every code path through `System::access`.
+const KINDS: [PrefetcherKind; 8] = [
+    PrefetcherKind::None,
+    PrefetcherKind::Ghb,
+    PrefetcherKind::Vldp,
+    PrefetcherKind::Stream,
+    PrefetcherKind::StreamMpp1,
+    PrefetcherKind::Droplet,
+    PrefetcherKind::MonoDropletL1,
+    PrefetcherKind::AdaptiveDroplet,
+];
+
+fn check(label: &str, runs: &[(PrefetcherKind, u64)], golden: &[(&str, u64)]) {
+    let mut ok = true;
+    for ((kind, actual), (gname, want)) in runs.iter().zip(golden) {
+        assert_eq!(kind.name(), *gname, "config order drifted in {label}");
+        if actual != want {
+            ok = false;
+            eprintln!("{label}/{gname}: digest {actual:#018x}, golden {want:#018x}");
+        }
+    }
+    assert!(
+        ok,
+        "{label}: digests diverged; table of actuals:\n{}",
+        runs.iter()
+            .map(|(k, a)| format!("    (\"{}\", {:#018x}),", k.name(), a))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// PageRank through every prefetcher kind, with a warm-up window so the
+/// `warmup_done` stats-reset path is covered too.
+#[test]
+fn pagerank_digests_are_stable() {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Pr.trace(&g, 120_000);
+    let cfg = SystemConfig::test_scale();
+    let runs: Vec<(PrefetcherKind, u64)> = KINDS
+        .iter()
+        .map(|&k| {
+            let r = run_workload(&bundle, &cfg.with_prefetcher(k), 5_000);
+            (k, digest(&r))
+        })
+        .collect();
+    const GOLDEN: [(&str, u64); 8] = [
+        ("baseline", 0xab6ad52a732dff62),
+        ("GHB", 0x1bbb411f6663c9ad),
+        ("VLDP", 0xb9295607a44bcc7c),
+        ("stream", 0x6bc8546b8fdc5605),
+        ("streamMPP1", 0x3265a79e6e723410),
+        ("DROPLET", 0xb6c2fe4b7dbce74d),
+        ("monoDROPLETL1", 0xda7715f20068b6ae),
+        ("DROPLET-adaptive", 0xe11825f15de1b065),
+    ];
+    check("pr", &runs, &GOLDEN);
+}
+
+/// BFS with no private L2: the demand path's other branch (L1 → L3 direct),
+/// plus a DROPLET run on the same trace.
+#[test]
+fn bfs_no_l2_digests_are_stable() {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Bfs.trace(&g, 80_000);
+    let no_l2 = run_workload(
+        &bundle,
+        &SystemConfig::test_scale().with_l2(None),
+        0, // no warm-up: the cold path must stay stable too
+    );
+    let droplet = run_workload(
+        &bundle,
+        &SystemConfig::test_scale().with_prefetcher(PrefetcherKind::Droplet),
+        2_000,
+    );
+    let runs = [
+        (PrefetcherKind::None, digest(&no_l2)),
+        (PrefetcherKind::Droplet, digest(&droplet)),
+    ];
+    const GOLDEN: [(&str, u64); 2] = [
+        ("baseline", 0xbac0a201eba862f6),
+        ("DROPLET", 0x42aed4636d402fa8),
+    ];
+    check("bfs-no-l2", &runs, &GOLDEN);
+}

@@ -12,12 +12,45 @@
 //! Not implemented: statistical outlier analysis, HTML reports, baselines,
 //! CLI filtering. Good enough to compare before/after on the same machine.
 
+use std::cell::RefCell;
 use std::hint;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Re-export point matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// One benchmark's measured numbers, retrievable via
+/// [`Criterion::take_results`] so `harness = false` targets can export
+/// machine-readable reports (not part of the real criterion API).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// The enclosing group's name.
+    pub group: String,
+    /// The benchmark's name.
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Units per iteration, when the group declared a throughput.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Elements processed per second, when element throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) if self.median_ns > 0.0 => {
+                Some(n as f64 * 1e9 / self.median_ns)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Units processed per iteration, for throughput reporting.
@@ -32,7 +65,7 @@ pub enum Throughput {
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _priv: (),
+    results: Rc<RefCell<Vec<BenchResult>>>,
 }
 
 impl Criterion {
@@ -40,17 +73,26 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group: {name}");
         BenchmarkGroup {
+            group: name.to_string(),
             throughput: None,
             sample_size: 20,
+            results: Rc::clone(&self.results),
         }
+    }
+
+    /// Drains every result measured so far (in run order).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut *self.results.borrow_mut())
     }
 }
 
 /// A named set of benchmarks sharing throughput/sample settings.
 #[derive(Debug)]
 pub struct BenchmarkGroup {
+    group: String,
     throughput: Option<Throughput>,
     sample_size: usize,
+    results: Rc<RefCell<Vec<BenchResult>>>,
 }
 
 impl BenchmarkGroup {
@@ -96,6 +138,14 @@ impl BenchmarkGroup {
         let median = samples_ns[samples_ns.len() / 2];
         let min = samples_ns[0];
         let max = samples_ns[samples_ns.len() - 1];
+        self.results.borrow_mut().push(BenchResult {
+            group: self.group.clone(),
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            throughput: self.throughput,
+        });
 
         print!(
             "  {name}: {} [{} .. {}] per iter ({iters} iters x {} samples)",
@@ -218,6 +268,21 @@ mod tests {
     #[test]
     fn group_runs_and_reports() {
         shim_group();
+    }
+
+    #[test]
+    fn results_are_collected_and_drained() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.group, "shim");
+        assert_eq!(r.name, "sum");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.elements_per_sec().unwrap() > 0.0);
+        assert!(c.take_results().is_empty(), "take drains");
     }
 
     #[test]

@@ -65,10 +65,13 @@ impl DeltaTable {
 
     fn update(&mut self, key: &[i64], next: i64, clock: u64) {
         if !self.map.contains_key(key) && self.map.len() == self.capacity {
+            // Tie-break equal LRU clocks on the key itself: `HashMap`
+            // iteration order is randomized per process, and letting it pick
+            // the victim makes whole-simulation results nondeterministic.
             if let Some(victim) = self
                 .map
                 .iter()
-                .min_by_key(|(_, (_, lru))| *lru)
+                .min_by(|(ka, (_, la)), (kb, (_, lb))| la.cmp(lb).then_with(|| ka.cmp(kb)))
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&victim);
