@@ -9,6 +9,11 @@
 //! trajectory is tracked across PRs.
 //!
 //! Run with: `cargo bench -p droplet-bench --bench sim_replay`
+//!
+//! `DROPLET_BENCH_ONLY=baseline,DROPLET` restricts the run to a
+//! comma-separated subset of configuration names — handy when profiling one
+//! configuration without the others polluting the samples. Filtered runs
+//! skip the JSON export so a partial run never clobbers the full report.
 
 use criterion::{Criterion, Throughput};
 use droplet::gap::Algorithm;
@@ -35,10 +40,16 @@ fn bench_replay(c: &mut Criterion) {
     let bundle = Algorithm::Pr.trace(&g, OPS);
     let base = SystemConfig::test_scale();
 
+    let only = std::env::var("DROPLET_BENCH_ONLY").ok();
     let mut group = c.benchmark_group("sim_replay");
     group.throughput(Throughput::Elements(bundle.ops.len() as u64));
     group.sample_size(12);
     for kind in KINDS {
+        if let Some(filter) = &only {
+            if !filter.split(',').any(|n| n.trim() == kind.name()) {
+                continue;
+            }
+        }
         let cfg = base.with_prefetcher(kind);
         group.bench_function(kind.name(), |b| {
             b.iter(|| run_workload(&bundle, &cfg, 0).core.cycles);
@@ -50,6 +61,9 @@ fn bench_replay(c: &mut Criterion) {
 fn main() {
     let mut c = Criterion::default();
     bench_replay(&mut c);
+    if std::env::var("DROPLET_BENCH_ONLY").is_ok() {
+        return;
+    }
 
     let mut configs = Vec::new();
     for r in c.take_results() {

@@ -8,37 +8,44 @@
 
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
-use droplet_trace::{Cycle, DataType};
+use droplet_trace::{find_u64, Cycle, DataType};
 
-/// Resident line metadata, packed to 32 bytes so a 16-way set spans eight
-/// cache lines of simulator memory and a whole-set scan stays in L1.
+/// Sentinel tag for an invalid way. Physical line indices are derived from
+/// frame numbers a demand-populated page table assigns sequentially from 1,
+/// so no real line ever reaches `u64::MAX`.
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Per-line payload, index-parallel with the tag array. The tag (line
+/// index and validity, folded into one `u64` via [`TAG_INVALID`]) lives in
+/// a separate dense array so the way-matching scan — the innermost loop of
+/// every touch/fill/probe — streams 8 bytes per way instead of the whole
+/// record.
 #[derive(Debug, Clone, Copy)]
-struct LineState {
-    line: u64,
+struct LineMeta {
     /// Cycle at which the data is actually present.
     ready_at: Cycle,
-    /// Recency stamp from the per-cache tick; larger = more recently
-    /// touched. Exact LRU: the minimum stamp of a set is its LRU way.
-    stamp: u64,
     dtype: DataType,
-    valid: bool,
     dirty: bool,
     /// Filled by a prefetcher (vs the demand path).
     prefetched: bool,
     /// Has seen at least one demand access since fill.
     used: bool,
+    /// System-level accuracy tag: `Some(dtype)` while an outstanding
+    /// prefetch to this line awaits its first demand use. Replaces an
+    /// external `HashMap<line, DataType>` side table — the tag travels with
+    /// the line and is reclaimed through [`EvictedLine::tracked`], so the
+    /// demand path never hashes.
+    tracked: Option<DataType>,
 }
 
-impl LineState {
-    const INVALID: LineState = LineState {
-        line: 0,
+impl LineMeta {
+    const EMPTY: LineMeta = LineMeta {
         ready_at: 0,
-        stamp: 0,
         dtype: DataType::Structure,
-        valid: false,
         dirty: false,
         prefetched: false,
         used: false,
+        tracked: None,
     };
 }
 
@@ -64,6 +71,8 @@ pub struct EvictedLine {
     pub used: bool,
     /// Data type recorded at fill time.
     pub dtype: DataType,
+    /// Accuracy tag still pending at eviction (the prefetch was wasted).
+    pub tracked: Option<DataType>,
 }
 
 /// Parameters of a fill.
@@ -77,6 +86,8 @@ pub struct FillInfo {
     pub ready_at: Cycle,
     /// Fill the line already dirty (demand store allocation).
     pub dirty: bool,
+    /// Install a system-level accuracy tag (see [`LineMeta::tracked`]).
+    pub track: bool,
 }
 
 impl FillInfo {
@@ -87,6 +98,7 @@ impl FillInfo {
             prefetched: false,
             ready_at,
             dirty: false,
+            track: false,
         }
     }
 
@@ -97,6 +109,7 @@ impl FillInfo {
             prefetched: true,
             ready_at,
             dirty: false,
+            track: false,
         }
     }
 
@@ -104,6 +117,13 @@ impl FillInfo {
     #[must_use]
     pub fn dirty(mut self) -> Self {
         self.dirty = true;
+        self
+    }
+
+    /// Installs the system-level accuracy tag along with the fill.
+    #[must_use]
+    pub fn tracked(mut self) -> Self {
+        self.track = true;
         self
     }
 }
@@ -127,13 +147,33 @@ pub struct SetAssocCache {
     cfg: CacheConfig,
     set_mask: u64,
     assoc: usize,
-    /// All ways of all sets in one flat allocation: set `s` occupies
-    /// `ways[s * assoc .. (s + 1) * assoc]`. Recency lives in per-way
-    /// stamps, so a hit is an in-place update — no per-access allocation
-    /// or element shifting as with reorder-on-touch LRU lists.
-    ways: Vec<LineState>,
+    /// Way tags of all sets in one flat allocation: set `s` occupies
+    /// `tags[s * assoc .. (s + 1) * assoc]`. A way holds its resident line
+    /// index, or [`TAG_INVALID`].
+    tags: Vec<u64>,
+    /// Recency stamps, index-parallel with `tags`; larger = more recently
+    /// touched. Exact LRU: the minimum stamp of a set is its LRU way, and a
+    /// hit is one in-place stamp store — no per-access allocation or element
+    /// shifting as with reorder-on-touch LRU lists. Kept as a dense array
+    /// (not a `LineMeta` field) so the fill path's victim scan streams
+    /// 8 bytes per way.
+    stamps: Vec<u64>,
+    /// Per-way payload, index-parallel with `tags`.
+    meta: Vec<LineMeta>,
     /// Monotonic recency clock; bumped on every touch/fill.
     tick: u64,
+    /// Flat-array indices of the last two distinct demand hits, most recent
+    /// first. Graph traces touch the same line repeatedly (8 neighbor IDs or
+    /// ranks per 64 B line) and *alternate* between regions (offsets →
+    /// neighbors → ranks), so [`SetAssocCache::touch`] checks these ways
+    /// first and skips the set scan when one still matches. Self-validating:
+    /// a fill or invalidation rewrites the tag, which makes the check fail —
+    /// no hooks needed, and a memo hit performs the same stamp/stat updates
+    /// as a scan hit.
+    memo: [usize; 2],
+    /// Number of resident lines carrying an accuracy tag; lets the demand
+    /// path skip the tag probe entirely when no prefetches are in flight.
+    tracked_count: usize,
     stats: CacheStats,
 }
 
@@ -144,8 +184,12 @@ impl SetAssocCache {
         SetAssocCache {
             set_mask: num_sets as u64 - 1,
             assoc: cfg.assoc,
-            ways: vec![LineState::INVALID; num_sets * cfg.assoc],
+            tags: vec![TAG_INVALID; num_sets * cfg.assoc],
+            stamps: vec![0; num_sets * cfg.assoc],
+            meta: vec![LineMeta::EMPTY; num_sets * cfg.assoc],
             tick: 0,
+            memo: [0, 0],
+            tracked_count: 0,
             cfg,
             stats: CacheStats::default(),
         }
@@ -176,9 +220,9 @@ impl SetAssocCache {
     /// coherence-engine probe the MPP uses to avoid redundant DRAM
     /// prefetches, Section V-A).
     pub fn contains(&self, line: u64) -> bool {
-        self.ways[self.set_range(line)]
-            .iter()
-            .any(|w| w.valid && w.line == line)
+        // Invalid ways hold `TAG_INVALID`, which no real line equals, so a
+        // plain tag compare suffices.
+        find_u64(&self.tags[self.set_range(line)], line).is_some()
     }
 
     /// A demand access to `line` at cycle `now`. Returns hit info, or
@@ -192,14 +236,24 @@ impl SetAssocCache {
     ) -> Option<HitInfo> {
         self.stats.demand_accesses.bump(dtype);
         let stamp = self.tick;
-        let range = self.set_range(line);
-        let entry = self.ways[range]
-            .iter_mut()
-            .find(|w| w.valid && w.line == line)?;
+        // A matching tag can only live in `line`'s own set, so the memo
+        // needs no set check to be sound.
+        let way = if self.tags[self.memo[0]] == line {
+            self.memo[0]
+        } else if self.tags[self.memo[1]] == line {
+            self.memo.swap(0, 1);
+            self.memo[0]
+        } else {
+            let range = self.set_range(line);
+            let hit = find_u64(&self.tags[range.clone()], line)?;
+            self.memo = [range.start + hit, self.memo[0]];
+            self.memo[0]
+        };
+        self.stamps[way] = stamp;
+        let entry = &mut self.meta[way];
         let first_prefetch_use = entry.prefetched && !entry.used;
         entry.used = true;
         entry.dirty |= is_store;
-        entry.stamp = stamp;
         let ready_at = entry.ready_at.max(now);
         self.tick += 1;
         self.stats.demand_hits.bump(dtype);
@@ -227,21 +281,31 @@ impl SetAssocCache {
         let stamp = self.tick;
         self.tick += 1;
         let range = self.set_range(line);
-        // One scan resolves all three cases: refresh a resident line, or
-        // pick the victim way (first invalid, else minimum stamp = LRU).
+        // One fused tag scan resolves all three cases: refresh a resident
+        // line, or pick the victim way (first invalid, else minimum stamp =
+        // LRU). The fill path is dominated by misses installing into full
+        // sets, so fusing the scans keeps it one pass over the dense
+        // tag/stamp arrays; only the chosen way touches the payload array.
         let mut invalid_idx = None;
         let mut lru_idx = 0;
         let mut lru_stamp = u64::MAX;
-        let ways = &mut self.ways[range];
-        for (i, w) in ways.iter_mut().enumerate() {
-            if !w.valid {
+        for i in 0..self.assoc {
+            let t = self.tags[range.start + i];
+            if t == TAG_INVALID {
                 invalid_idx.get_or_insert(i);
                 continue;
             }
-            if w.line == line {
+            if t == line {
+                self.stamps[range.start + i] = stamp;
+                let w = &mut self.meta[range.start + i];
                 w.ready_at = w.ready_at.min(info.ready_at);
                 w.dirty |= info.dirty;
-                w.stamp = stamp;
+                // First-writer-wins, like an `or_insert` on the old side
+                // table: a refresh never overwrites an existing tag.
+                if info.track && w.tracked.is_none() {
+                    w.tracked = Some(info.dtype);
+                    self.tracked_count += 1;
+                }
                 // A demand fill of a previously prefetched line counts as
                 // a use.
                 if !info.prefetched && w.prefetched && !w.used {
@@ -250,64 +314,119 @@ impl SetAssocCache {
                 }
                 return None;
             }
-            if w.stamp < lru_stamp {
-                lru_stamp = w.stamp;
+            let s = self.stamps[range.start + i];
+            if s < lru_stamp {
+                lru_stamp = s;
                 lru_idx = i;
             }
         }
+        let way = range.start + invalid_idx.unwrap_or(lru_idx);
         let evicted = match invalid_idx {
             Some(_) => None,
             None => {
-                let victim = ways[lru_idx];
+                let victim = self.meta[way];
                 if victim.prefetched && !victim.used {
                     self.stats.prefetch_unused_evictions.bump(victim.dtype);
                 }
                 Some(EvictedLine {
-                    line: victim.line,
+                    line: self.tags[way],
                     dirty: victim.dirty,
                     prefetched: victim.prefetched,
                     used: victim.used,
                     dtype: victim.dtype,
+                    tracked: victim.tracked,
                 })
             }
         };
-        ways[invalid_idx.unwrap_or(lru_idx)] = LineState {
-            line,
+        self.tags[way] = line;
+        self.stamps[way] = stamp;
+        self.meta[way] = LineMeta {
             ready_at: info.ready_at,
-            stamp,
             dtype: info.dtype,
-            valid: true,
             dirty: info.dirty,
             prefetched: info.prefetched,
             used: false,
+            tracked: info.track.then_some(info.dtype),
         };
+        if info.track {
+            self.tracked_count += 1;
+        }
+        if let Some(ev) = &evicted {
+            if ev.tracked.is_some() {
+                self.tracked_count -= 1;
+            }
+        }
         evicted
     }
 
     /// Removes `line` (inclusion back-invalidation), returning its state.
     pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
         let range = self.set_range(line);
-        let entry = self.ways[range]
-            .iter_mut()
-            .find(|w| w.valid && w.line == line)?;
-        entry.valid = false;
-        let victim = *entry;
+        let hit = find_u64(&self.tags[range.clone()], line)?;
+        let way = range.start + hit;
+        self.tags[way] = TAG_INVALID;
+        let victim = self.meta[way];
         self.stats.inclusion_invalidations += 1;
         if victim.prefetched && !victim.used {
             self.stats.prefetch_unused_evictions.bump(victim.dtype);
         }
+        if victim.tracked.is_some() {
+            self.tracked_count -= 1;
+        }
         Some(EvictedLine {
-            line: victim.line,
+            line,
             dirty: victim.dirty,
             prefetched: victim.prefetched,
             used: victim.used,
             dtype: victim.dtype,
+            tracked: victim.tracked,
         })
+    }
+
+    /// Consumes the accuracy tag of `line`, if any. A pure tag operation:
+    /// no LRU or statistics side effects, so the demand path can settle
+    /// outstanding-prefetch accounting on every access (even L1 hits)
+    /// without perturbing cache state.
+    pub fn take_tracked(&mut self, line: u64) -> Option<DataType> {
+        if self.tracked_count == 0 {
+            return None;
+        }
+        let range = self.set_range(line);
+        let hit = find_u64(&self.tags[range.clone()], line)?;
+        let tag = self.meta[range.start + hit].tracked.take();
+        if tag.is_some() {
+            self.tracked_count -= 1;
+        }
+        tag
+    }
+
+    /// Installs an accuracy tag on an already-resident `line` (the copy-up
+    /// path of a prefetch that hit in this cache). First-writer-wins like
+    /// [`FillInfo::tracked`]; returns whether the line was resident.
+    pub fn mark_tracked(&mut self, line: u64, dtype: DataType) -> bool {
+        let range = self.set_range(line);
+        match find_u64(&self.tags[range.clone()], line) {
+            Some(hit) => {
+                let w = &mut self.meta[range.start + hit];
+                if w.tracked.is_none() {
+                    w.tracked = Some(dtype);
+                    self.tracked_count += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any resident line carries an accuracy tag — the O(1) gate
+    /// the demand path checks before probing.
+    pub fn has_tracked(&self) -> bool {
+        self.tracked_count > 0
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
     }
 }
 
@@ -425,6 +544,55 @@ mod tests {
             c.stats().demand_accesses.total(),
             before.demand_accesses.total()
         );
+    }
+
+    #[test]
+    fn tracked_tag_lifecycle() {
+        let mut c = tiny();
+        assert!(!c.has_tracked());
+        c.fill(0, FillInfo::prefetch(S, 10).tracked());
+        assert!(c.has_tracked());
+        // Consuming the tag is one-shot and side-effect free on stats.
+        let before = *c.stats();
+        assert_eq!(c.take_tracked(0), Some(S));
+        assert_eq!(c.take_tracked(0), None);
+        assert!(!c.has_tracked());
+        assert_eq!(
+            c.stats().demand_accesses.total(),
+            before.demand_accesses.total()
+        );
+    }
+
+    #[test]
+    fn tracked_tag_first_writer_wins() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::prefetch(S, 0).tracked());
+        // Refresh with a different dtype must not overwrite the tag.
+        c.fill(0, FillInfo::prefetch(P, 0).tracked());
+        assert!(c.mark_tracked(0, P)); // resident, but tag already set
+        assert_eq!(c.take_tracked(0), Some(S));
+        assert!(!c.mark_tracked(9, P)); // not resident
+    }
+
+    #[test]
+    fn eviction_reports_pending_tag() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::prefetch(S, 0).tracked());
+        c.fill(4, FillInfo::demand(P, 0));
+        let ev = c.fill(8, FillInfo::demand(P, 0)).unwrap();
+        assert_eq!(ev.line, 0);
+        assert_eq!(ev.tracked, Some(S));
+        assert!(!c.has_tracked());
+    }
+
+    #[test]
+    fn invalidate_reports_pending_tag() {
+        let mut c = tiny();
+        c.fill(0, FillInfo::prefetch(S, 0));
+        assert!(c.mark_tracked(0, S));
+        let ev = c.invalidate(0).unwrap();
+        assert_eq!(ev.tracked, Some(S));
+        assert!(!c.has_tracked());
     }
 
     #[test]

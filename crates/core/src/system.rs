@@ -6,14 +6,16 @@
 
 use crate::config::{PrefetcherKind, SystemConfig};
 use droplet_cache::{CacheStats, FillInfo, SetAssocCache, TypedCounter};
-use droplet_cpu::{AccessResponse, CoreResult, CoreSim, MemorySystem, ServiceLevel};
+use droplet_cpu::{AccessResponse, CoreResult, CoreSim, MemorySystem, MshrFile, ServiceLevel};
 use droplet_gap::TraceBundle;
 use droplet_mem::{Dram, DramStats, Mrb, MrbEntry};
 use droplet_prefetch::{
     AccessEvent, EventKind, GhbPrefetcher, Mpp, MppCandidate, MppStats, PrefetchRequest,
     Prefetcher, StreamPrefetcher, VldpPrefetcher,
 };
-use droplet_trace::{Cycle, DataType, MemOp, OpId, PageTable, Tlb, VirtAddr, PAGE_BYTES};
+use droplet_trace::{
+    Cycle, DataType, MemOp, OpId, PageEntry, PageTable, Tlb, VirtAddr, PAGE_BYTES,
+};
 
 /// Orchestration-level statistics not owned by any single component.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,10 +73,18 @@ pub struct System<'a> {
     stats: SystemStats,
     pf_buf: Vec<PrefetchRequest>,
     mpp_buf: Vec<MppCandidate>,
-    /// Prefetched, not-yet-demanded lines (line-level accuracy tracking).
-    pref_track: std::collections::HashMap<u64, DataType>,
-    /// Completion times of in-flight demand misses (MSHR occupancy).
-    mshr: Vec<Cycle>,
+    /// In-flight demand misses (MSHR occupancy).
+    mshr: MshrFile,
+    /// One-entry translation memo: the previous demand access's (vpn,
+    /// entry). Graph traversals are bursty within a page (a vertex's
+    /// neighbor list spans consecutive lines), so consecutive same-page
+    /// accesses skip even the DTLB scan. Safe because nothing else touches
+    /// the DTLB between demand accesses: a memo hit implies the page is the
+    /// DTLB's MRU entry, so the skipped touch could not have changed the
+    /// eviction order, and translations are immutable once created.
+    same_page: Option<(u64, PageEntry)>,
+    /// Demand-promotion latency cap; derived from `cfg` only, computed once.
+    promote_budget: Cycle,
     /// Probing controller for the adaptive DROPLET extension.
     adaptive: Option<AdaptiveState>,
 }
@@ -96,13 +106,14 @@ impl<'a> System<'a> {
     /// Builds the system for one workload. All graph pages are pre-touched
     /// (the paper runs the graph-reading phase before the ROI), so page
     /// mappings exist; the small DTLB still produces realistic miss
-    /// behaviour.
+    /// behaviour. The pre-touch uses the non-counting [`PageTable::populate`]
+    /// path, so the walk counter reflects demand walks only.
     pub fn new(cfg: SystemConfig, bundle: &'a TraceBundle) -> Self {
         let mut page_table = PageTable::new();
         for region in bundle.space.regions() {
             let mut addr = region.base();
             while addr < region.end() {
-                page_table.translate(addr, &bundle.space);
+                page_table.populate(addr, &bundle.space);
                 addr = addr.add_bytes(PAGE_BYTES);
             }
         }
@@ -139,6 +150,7 @@ impl<'a> System<'a> {
         });
 
         let cfg_mshrs = cfg.mshrs.max(1);
+        let promote_budget = demand_promotion_budget(&cfg);
         let adaptive_state =
             (cfg.prefetcher == PrefetcherKind::AdaptiveDroplet).then(|| AdaptiveState {
                 epoch_misses: cfg.adaptive_epoch_misses.max(1),
@@ -159,11 +171,12 @@ impl<'a> System<'a> {
             cfg,
             bundle,
             page_table,
+            promote_budget,
             stats: SystemStats::default(),
             pf_buf: Vec::with_capacity(64),
             mpp_buf: Vec::with_capacity(64),
-            pref_track: std::collections::HashMap::new(),
-            mshr: vec![0; cfg_mshrs],
+            mshr: MshrFile::new(cfg_mshrs),
+            same_page: None,
             adaptive: adaptive_state,
         }
     }
@@ -209,8 +222,9 @@ impl<'a> System<'a> {
     fn fill_l3(&mut self, pline: u64, info: FillInfo, now: Cycle) {
         if let Some(victim) = self.l3.fill(pline, info) {
             // A tracked prefetched line leaving the chip without a demand
-            // use is a wasted (inaccurate) prefetch.
-            if let Some(dt) = self.pref_track.remove(&victim.line) {
+            // use is a wasted (inaccurate) prefetch. The tag rides on the
+            // evicted line itself (no side table to consult).
+            if let Some(dt) = victim.tracked {
                 self.stats.prefetch_wasted.bump(dt);
             }
             let mut dirty = victim.dirty;
@@ -260,8 +274,8 @@ impl<'a> System<'a> {
             // Data-aware requests enter the L3 request queue directly;
             // conventional requests looked up the L2 first (the residency
             // check above) and then proceed to the L3.
-            self.track_prefetch(pline, dtype);
             if self.l3.contains(pline) {
+                self.l3.mark_tracked(pline, dtype);
                 let ready = now + self.cfg.l3.tag_latency + self.cfg.l3.data_latency;
                 if let Some(l2) = self.l2.as_mut() {
                     l2.fill(pline, FillInfo::prefetch(dtype, ready));
@@ -284,7 +298,13 @@ impl<'a> System<'a> {
                 core: 0,
                 complete_at: resp.complete_at,
             });
-            self.fill_l3(pline, FillInfo::prefetch(dtype, resp.complete_at), now);
+            // The accuracy tag is installed with the L3 fill (the tag lives
+            // at the inclusive level only).
+            self.fill_l3(
+                pline,
+                FillInfo::prefetch(dtype, resp.complete_at).tracked(),
+                now,
+            );
             if let Some(l2) = self.l2.as_mut() {
                 l2.fill(pline, FillInfo::prefetch(dtype, resp.complete_at));
             }
@@ -307,6 +327,9 @@ impl<'a> System<'a> {
             return;
         }
         let done = self.mrb.drain_completed(now);
+        if done.is_empty() && self.mpp_buf.is_empty() {
+            return;
+        }
         for entry in done {
             let is_structure_prefetch = if self.cfg.prefetcher.mpp_recognizes_structure() {
                 // MPP1: recognize by address range.
@@ -358,9 +381,9 @@ impl<'a> System<'a> {
                 self.stats.mpp_redundant += 1;
                 continue;
             }
-            self.track_prefetch(pl, DataType::Property);
             if self.l3.contains(pl) {
                 // On-chip: copy from the inclusive LLC into the private L2.
+                self.l3.mark_tracked(pl, DataType::Property);
                 let ready = cand.ready_at + self.cfg.l3.data_latency;
                 if let Some(l2) = self.l2.as_mut() {
                     l2.fill(pl, FillInfo::prefetch(DataType::Property, ready));
@@ -374,7 +397,7 @@ impl<'a> System<'a> {
                 let resp = self.dram.request(pl, cand.ready_at, true);
                 self.fill_l3(
                     pl,
-                    FillInfo::prefetch(DataType::Property, resp.complete_at),
+                    FillInfo::prefetch(DataType::Property, resp.complete_at).tracked(),
                     cand.ready_at,
                 );
                 if let Some(l2) = self.l2.as_mut() {
@@ -427,26 +450,22 @@ impl<'a> System<'a> {
             pf.on_access(&ev, &mut self.pf_buf);
         }
     }
+}
 
-    /// Starts accuracy tracking for a prefetched line.
-    fn track_prefetch(&mut self, pline: u64, dtype: DataType) {
-        self.pref_track.entry(pline).or_insert(dtype);
-    }
-
-    /// The worst-case latency a *demand* access would pay if it re-issued
-    /// to DRAM right now with demand priority. A demand hit on a line whose
-    /// in-flight (deprioritized) prefetch completes later than this is
-    /// promoted: real MSHRs upgrade the pending request to demand priority.
-    fn demand_promotion_budget(&self) -> Cycle {
-        let l2 = self.cfg.l2.as_ref().map_or(0, |c| c.tag_latency);
-        self.cfg.l1.tag_latency
-            + l2
-            + self.cfg.l3.tag_latency
-            + self.cfg.l3.data_latency
-            + self.cfg.dram.device_latency
-            + self.cfg.dram.bus_occupancy
-            + self.cfg.dram.bank_occupancy
-    }
+/// The worst-case latency a *demand* access would pay if it re-issued
+/// to DRAM right now with demand priority. A demand hit on a line whose
+/// in-flight (deprioritized) prefetch completes later than this is
+/// promoted: real MSHRs upgrade the pending request to demand priority.
+/// A pure function of the configuration, computed once at system build.
+fn demand_promotion_budget(cfg: &SystemConfig) -> Cycle {
+    let l2 = cfg.l2.as_ref().map_or(0, |c| c.tag_latency);
+    cfg.l1.tag_latency
+        + l2
+        + cfg.l3.tag_latency
+        + cfg.l3.data_latency
+        + cfg.dram.device_latency
+        + cfg.dram.bus_occupancy
+        + cfg.dram.bank_occupancy
 }
 
 impl MemorySystem for System<'_> {
@@ -457,27 +476,42 @@ impl MemorySystem for System<'_> {
         let is_store = !op.is_load();
         let dtype = op.dtype();
 
-        // Address translation through the DTLB.
-        let (pa, entry) = self.page_table.translate(vaddr, &self.bundle.space);
-        #[allow(unused_mut)]
+        // Address translation through the DTLB, lazily: the page table is
+        // walked only on a DTLB miss, and a repeat access to the previous
+        // page is resolved from the one-entry memo without even scanning
+        // the DTLB (the page is guaranteed its MRU entry, so the skipped
+        // recency refresh cannot change any future eviction).
+        let vpn = vaddr.page_number();
         let mut t0 = now;
-        if self.dtlb.access(vaddr.page_number(), || entry).is_none() {
-            self.stats.dtlb_misses += 1;
-            t0 += self.cfg.tlb_walk_latency;
-        }
-        let pl = pa.line_index();
+        let entry = match self.same_page {
+            Some((memo_vpn, memo_entry)) if memo_vpn == vpn => memo_entry,
+            _ => {
+                let page_table = &mut self.page_table;
+                let space = &self.bundle.space;
+                let (entry, hit) = self
+                    .dtlb
+                    .access_entry(vpn, || page_table.translate(vaddr, space).1);
+                if !hit {
+                    self.stats.dtlb_misses += 1;
+                    t0 += self.cfg.tlb_walk_latency;
+                }
+                self.same_page = Some((vpn, entry));
+                entry
+            }
+        };
+        let pl = (entry.frame * PAGE_BYTES + vaddr.page_offset()) / droplet_trace::LINE_BYTES;
         let is_structure = entry.structure;
         let mono = self.cfg.prefetcher.monolithic_l1();
 
         // Settle prefetch-accuracy tracking: a demand access to a tracked
-        // line means the prefetch was useful.
-        if !self.pref_track.is_empty() {
-            if let Some(dt) = self.pref_track.remove(&pl) {
-                self.stats.prefetch_useful.bump(dt);
-            }
+        // line means the prefetch was useful. The tag lives in the L3 line
+        // itself; `take_tracked` is an O(ways) probe gated by an O(1)
+        // any-tags check, with no hashing.
+        if let Some(dt) = self.l3.take_tracked(pl) {
+            self.stats.prefetch_useful.bump(dt);
         }
 
-        let promote = self.demand_promotion_budget();
+        let promote = self.promote_budget;
 
         // --- L1 ---
         if let Some(hit) = self.l1.touch(pl, t0, dtype, is_store) {
@@ -509,18 +543,10 @@ impl MemorySystem for System<'_> {
 
         // Allocate an MSHR: at most `mshrs` demand misses may be in
         // flight; a full file stalls the new miss until a slot frees.
-        let slot = {
-            let (idx, &free_at) = self
-                .mshr
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &c)| c)
-                .expect("mshr file is non-empty");
-            if free_at > t0 {
-                t0 = free_at;
-            }
-            idx
-        };
+        let free_at = self.mshr.earliest_free();
+        if free_at > t0 {
+            t0 = free_at;
+        }
 
         let t1 = t0 + self.cfg.l1.tag_latency;
         let (response, fill_ready) = 'path: {
@@ -608,7 +634,7 @@ impl MemorySystem for System<'_> {
             )
         };
 
-        self.mshr[slot] = response.complete_at;
+        self.mshr.allocate(response.complete_at);
         self.adaptive_observe_miss(response.complete_at.saturating_sub(now));
 
         // Demand fills on the refill path (inclusive hierarchy).

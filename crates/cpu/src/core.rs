@@ -186,6 +186,19 @@ impl CoreSim {
     ) -> CoreResult {
         let w = u64::from(self.cfg.width);
         let rob = u64::from(self.cfg.rob);
+        // Slot-unit → cycle conversions happen several times per op, and a
+        // division by a runtime value costs tens of cycles on its own. Real
+        // widths are powers of two, so precompute the shift; the divide
+        // stays as the exact fallback for odd widths.
+        let wshift = if w.is_power_of_two() {
+            Some(w.trailing_zeros())
+        } else {
+            None
+        };
+        let div_w = |units: u64| match wshift {
+            Some(s) => units >> s,
+            None => units / w,
+        };
 
         // Slot-unit clocks (1 slot = 1/width cycle).
         let mut disp_units: u64 = 0;
@@ -206,6 +219,10 @@ impl CoreSim {
         let mut store_ret = vec![0u64; sq];
         let mut n_loads: usize = 0;
         let mut n_stores: usize = 0;
+        // Ring cursors maintained incrementally (== n_loads % lq etc.) so
+        // the per-op queue probes never pay a runtime modulo.
+        let mut load_pos: usize = 0;
+        let mut store_pos: usize = 0;
 
         let mut ii: u64 = 0; // cumulative instruction count
 
@@ -225,9 +242,9 @@ impl CoreSim {
         for (i, op) in trace.iter().enumerate() {
             if !measuring && i >= warmup_ops {
                 measuring = true;
-                window_start_cycle = ret_units / w;
+                window_start_cycle = div_w(ret_units);
                 window_start_ii = ii;
-                mem.warmup_done(disp_units / w);
+                mem.warmup_done(div_w(disp_units));
             }
 
             let block = 1 + u64::from(op.pre_compute());
@@ -249,13 +266,13 @@ impl CoreSim {
             // LQ/SQ occupancy.
             if op.is_load() {
                 if n_loads >= lq {
-                    floor_units = floor_units.max(load_ret[n_loads % lq] * w + block);
+                    floor_units = floor_units.max(load_ret[load_pos] * w + block);
                 }
             } else if n_stores >= sq {
-                floor_units = floor_units.max(store_ret[n_stores % sq] * w + block);
+                floor_units = floor_units.max(store_ret[store_pos] * w + block);
             }
             disp_units = floor_units;
-            let disp_cycle = disp_units / w;
+            let disp_cycle = div_w(disp_units);
 
             // --- Issue: wait for the producer's value (address dependency) ---
             let mut issue_at = disp_cycle;
@@ -282,7 +299,7 @@ impl CoreSim {
             // --- Retire (in order, width-limited) ---
             let before = ret_units;
             ret_units = (ret_units + block).max(complete_at * w);
-            let rt = ret_units / w;
+            let rt = div_w(ret_units);
 
             // --- Bookkeeping rings ---
             let h = i % HIST;
@@ -290,11 +307,19 @@ impl CoreSim {
             ret_time[h] = rt;
             complete[h] = complete_at;
             if op.is_load() {
-                load_ret[n_loads % lq] = rt;
+                load_ret[load_pos] = rt;
                 n_loads += 1;
+                load_pos += 1;
+                if load_pos == lq {
+                    load_pos = 0;
+                }
             } else {
-                store_ret[n_stores % sq] = rt;
+                store_ret[store_pos] = rt;
                 n_stores += 1;
+                store_pos += 1;
+                if store_pos == sq {
+                    store_pos = 0;
+                }
             }
 
             // --- Measurement ---
@@ -324,7 +349,7 @@ impl CoreSim {
             }
         }
 
-        let end_cycle = ret_units / w;
+        let end_cycle = div_w(ret_units);
         CoreResult {
             cycles: end_cycle.saturating_sub(window_start_cycle),
             instructions: ii - window_start_ii,
@@ -332,7 +357,7 @@ impl CoreSim {
             loads,
             serviced_by,
             cycle_stack: stack,
-            mlp: mlp_of_intervals(&mut dram_intervals),
+            mlp: mlp_of_intervals(&dram_intervals),
         }
     }
 }

@@ -34,6 +34,7 @@
 pub mod core;
 pub mod depchain;
 pub mod mlp;
+pub mod mshr;
 pub mod stack;
 
 pub use crate::core::{
@@ -41,4 +42,5 @@ pub use crate::core::{
 };
 pub use depchain::{analyze_chains, ChainReport};
 pub use mlp::{mlp_of_intervals, MlpStats};
+pub use mshr::MshrFile;
 pub use stack::CycleStack;

@@ -43,6 +43,10 @@ pub struct MrbEntry {
 pub struct Mrb {
     capacity: usize,
     entries: VecDeque<MrbEntry>,
+    /// Cached minimum `complete_at` over `entries` (`u64::MAX` when empty):
+    /// lets [`Mrb::drain_completed`] — called once per demand DRAM access —
+    /// answer "nothing ready yet" in O(1) instead of a full retain pass.
+    min_complete: Cycle,
     inserted: u64,
     overflowed: u64,
 }
@@ -58,6 +62,7 @@ impl Mrb {
         Mrb {
             capacity,
             entries: VecDeque::with_capacity(capacity),
+            min_complete: Cycle::MAX,
             inserted: 0,
             overflowed: 0,
         }
@@ -72,22 +77,31 @@ impl Mrb {
             return false;
         }
         self.inserted += 1;
+        self.min_complete = self.min_complete.min(entry.complete_at);
         self.entries.push_back(entry);
         true
     }
 
     /// Removes and returns every entry whose DRAM access has completed by
-    /// cycle `now`, in completion order.
+    /// cycle `now`, in completion order. When nothing has completed yet the
+    /// cached minimum completion time short-circuits the scan and the call
+    /// returns an empty (allocation-free) vector.
     pub fn drain_completed(&mut self, now: Cycle) -> Vec<MrbEntry> {
+        if now < self.min_complete {
+            return Vec::new();
+        }
         let mut done: Vec<MrbEntry> = Vec::new();
+        let mut remaining_min = Cycle::MAX;
         self.entries.retain(|e| {
             if e.complete_at <= now {
                 done.push(*e);
                 false
             } else {
+                remaining_min = remaining_min.min(e.complete_at);
                 true
             }
         });
+        self.min_complete = remaining_min;
         done.sort_by_key(|e| e.complete_at);
         done
     }
@@ -140,6 +154,20 @@ mod tests {
         assert_eq!(done.iter().map(|x| x.pline).collect::<Vec<_>>(), vec![2, 1]);
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn early_out_keeps_later_batches_drainable() {
+        let mut m = Mrb::new(8);
+        m.insert(e(1, 100));
+        m.insert(e(2, 300));
+        assert!(m.drain_completed(50).is_empty()); // before min: early-out
+        assert_eq!(m.drain_completed(100).len(), 1);
+        assert!(m.drain_completed(200).is_empty()); // min recomputed to 300
+        assert_eq!(m.drain_completed(300).len(), 1);
+        m.insert(e(3, 80)); // min drops again after the buffer emptied
+        assert_eq!(m.drain_completed(90).len(), 1);
+        assert!(m.is_empty());
     }
 
     #[test]

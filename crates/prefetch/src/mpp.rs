@@ -117,6 +117,10 @@ pub struct Mpp {
     mtlb: Tlb,
     /// Outstanding candidates occupying VAB+PAB slots.
     outstanding: usize,
+    /// Reusable buffer for the IDs scanned out of one structure line.
+    scan_buf: Vec<u32>,
+    /// Reusable per-scan dedup set of candidate property lines.
+    seen_buf: Vec<u64>,
     stats: MppStats,
 }
 
@@ -160,6 +164,8 @@ impl Mpp {
             cfg,
             targets,
             outstanding: 0,
+            scan_buf: Vec::new(),
+            seen_buf: Vec::new(),
             stats: MppStats::default(),
         }
     }
@@ -197,65 +203,69 @@ impl Mpp {
     ) {
         self.stats.lines_scanned += 1;
         let line_addr = VirtAddr::new(vline * LINE_BYTES);
-        let ids = fm.neighbor_ids_in_line(line_addr);
+        // Scan into a reusable buffer: this runs once per structure
+        // prefetch arrival, so a fresh Vec here is steady-state churn.
+        let ids = {
+            let mut buf = std::mem::take(&mut self.scan_buf);
+            fm.neighbor_ids_in_line_into(line_addr, &mut buf);
+            buf
+        };
         self.stats.ids_scanned += ids.len() as u64;
 
         // One structure line can reference the same property line several
         // times; dedupe per scan like real hardware coalescing would.
-        let mut seen_lines: Vec<u64> = Vec::with_capacity(ids.len());
-        let targets = self.targets.clone();
-        for (id, target) in ids
-            .iter()
-            .flat_map(|&id| targets.iter().map(move |t| (id, *t)))
-        {
-            if u64::from(id) >= target.len {
-                self.stats.out_of_bounds += 1;
-                continue;
-            }
-            let vaddr = target.base.add_bytes(u64::from(id) * target.elem_bytes);
-            let cand_vline = vaddr.line_index();
-            if seen_lines.contains(&cand_vline) {
-                continue;
-            }
-            seen_lines.push(cand_vline);
-
-            if self.outstanding >= self.cfg.vab_entries + self.cfg.pab_entries {
-                self.stats.buffer_drops += 1;
-                continue;
-            }
-
-            // MTLB translation; page-walk on miss, drop on fault.
-            let vpn = vaddr.page_number();
-            let mut latency = self.cfg.pag_latency + self.cfg.coherence_latency;
-            let entry = match self.mtlb.probe(vpn) {
-                Some(e) => {
-                    // Refresh LRU through the access path.
-                    self.mtlb.access(vpn, || e);
-                    e
+        self.seen_buf.clear();
+        for &id in &ids {
+            // Targets are copied out by index so the loop body can borrow
+            // `self` mutably (`PropertyTarget` is `Copy`; almost always one).
+            for ti in 0..self.targets.len() {
+                let target = self.targets[ti];
+                if u64::from(id) >= target.len {
+                    self.stats.out_of_bounds += 1;
+                    continue;
                 }
-                None => {
-                    let Some(e) = pt.lookup(vaddr) else {
+                let vaddr = target.base.add_bytes(u64::from(id) * target.elem_bytes);
+                let cand_vline = vaddr.line_index();
+                if self.seen_buf.contains(&cand_vline) {
+                    continue;
+                }
+                self.seen_buf.push(cand_vline);
+
+                if self.outstanding >= self.cfg.vab_entries + self.cfg.pab_entries {
+                    self.stats.buffer_drops += 1;
+                    continue;
+                }
+
+                // MTLB translation in one scan; page-walk on miss, drop on
+                // fault (which leaves the MTLB untouched).
+                let vpn = vaddr.page_number();
+                let mut latency = self.cfg.pag_latency + self.cfg.coherence_latency;
+                let entry = match self.mtlb.access_or_walk(vpn, || pt.lookup(vaddr)) {
+                    Some((e, true)) => e,
+                    Some((e, false)) => {
+                        self.stats.mtlb_walks += 1;
+                        latency += self.cfg.mtlb_walk_latency;
+                        e
+                    }
+                    None => {
                         self.stats.page_fault_drops += 1;
                         continue;
-                    };
-                    self.stats.mtlb_walks += 1;
-                    latency += self.cfg.mtlb_walk_latency;
-                    self.mtlb.access(vpn, || e);
-                    e
-                }
-            };
-            let pline =
-                (entry.frame * droplet_trace::PAGE_BYTES + vaddr.page_offset()) / LINE_BYTES;
+                    }
+                };
+                let pline =
+                    (entry.frame * droplet_trace::PAGE_BYTES + vaddr.page_offset()) / LINE_BYTES;
 
-            self.outstanding += 1;
-            self.stats.candidates += 1;
-            out.push(MppCandidate {
-                vline: cand_vline,
-                pline,
-                core,
-                ready_at: now + latency,
-            });
+                self.outstanding += 1;
+                self.stats.candidates += 1;
+                out.push(MppCandidate {
+                    vline: cand_vline,
+                    pline,
+                    core,
+                    ready_at: now + latency,
+                });
+            }
         }
+        self.scan_buf = ids;
     }
 
     /// Releases the VAB/PAB slot of a completed (or cancelled) candidate.

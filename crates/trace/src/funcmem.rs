@@ -29,9 +29,19 @@ pub trait FunctionalMemory {
     /// in element order. At the paper's geometry this yields up to 16 IDs
     /// (unweighted) or 8 (weighted) per line.
     fn neighbor_ids_in_line(&self, line_addr: VirtAddr) -> Vec<u32> {
-        let base = line_addr.line_base();
         let step = self.scan_granularity();
         let mut out = Vec::with_capacity((LINE_BYTES / step) as usize);
+        self.neighbor_ids_in_line_into(line_addr, &mut out);
+        out
+    }
+
+    /// Like [`FunctionalMemory::neighbor_ids_in_line`], but clears and fills
+    /// a caller-owned buffer — the MPP scans a line per structure prefetch
+    /// arrival, and reusing one buffer keeps that path allocation-free.
+    fn neighbor_ids_in_line_into(&self, line_addr: VirtAddr, out: &mut Vec<u32>) {
+        out.clear();
+        let base = line_addr.line_base();
+        let step = self.scan_granularity();
         let mut off = 0;
         while off < LINE_BYTES {
             if let Some(id) = self.neighbor_id_at(base.add_bytes(off)) {
@@ -39,7 +49,6 @@ pub trait FunctionalMemory {
             }
             off += step;
         }
-        out
     }
 }
 

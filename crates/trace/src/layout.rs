@@ -141,8 +141,9 @@ pub struct AddressSpace {
     next_base: u64,
 }
 
-/// Base virtual address of the first allocation.
-const SPACE_BASE: u64 = 0x0001_0000_0000;
+/// Base virtual address of the first allocation. `pub(crate)` so the page
+/// table can index its dense slot array relative to this base.
+pub(crate) const SPACE_BASE: u64 = 0x0001_0000_0000;
 
 impl AddressSpace {
     /// Creates an empty address space.

@@ -24,6 +24,7 @@ pub mod funcmem;
 pub mod layout;
 pub mod op;
 pub mod page;
+pub mod scan;
 pub mod tlb;
 pub mod tracer;
 
@@ -32,5 +33,6 @@ pub use funcmem::FunctionalMemory;
 pub use layout::{AddressSpace, ArrayRegion, Region, RegionId};
 pub use op::{AccessKind, Cycle, DataType, MemOp, OpId};
 pub use page::{PageEntry, PageTable};
+pub use scan::{find_u64, min_index_u64};
 pub use tlb::Tlb;
 pub use tracer::{CountingTracer, Tracer, VecTracer};

@@ -4,10 +4,26 @@
 //! carry the extra structure bit, Fig. 9(b) ❶) and as the near-memory MTLB
 //! inside the MPP (Section V-C3), which caches only property-page mappings
 //! and participates in shootdowns via [`Tlb::invalidate_matching`].
+//!
+//! Recency is tracked with per-slot u64 stamps from a monotonic tick (the
+//! same scheme as the packed set-associative cache): a hit is one in-place
+//! stamp store, and eviction picks the minimum-stamp slot. The previous
+//! implementation kept a reorder-on-touch `Vec` (MRU at the back), which
+//! cost an O(capacity) element shift on *every* hit — measurable at 64–128
+//! entries when the TLB sits on the per-op demand path. The stamp scheme is
+//! pinned to the reorder-on-touch semantics by
+//! `crates/trace/tests/tlb_stamp_oracle.rs`.
 
 use crate::page::PageEntry;
+use crate::scan::{find_u64, min_index_u64};
 
 /// A fully-associative, true-LRU TLB over virtual page numbers.
+///
+/// The three per-slot attributes live in parallel arrays
+/// (structure-of-arrays): the lookup scan touches only the dense `vpns`
+/// array (8 bytes per slot instead of a 32-byte record), and the
+/// eviction-victim scan touches only `stamps`. At 64 entries that is the
+/// difference between streaming 512 B and 2 KiB per demand access.
 ///
 /// # Example
 ///
@@ -21,8 +37,25 @@ use crate::page::PageEntry;
 #[derive(Debug, Clone)]
 pub struct Tlb {
     capacity: usize,
-    /// MRU at the back. Linear scan is fine at TLB sizes (64–128 entries).
-    entries: Vec<(u64, PageEntry)>,
+    /// Resident virtual page numbers; the only array the lookup scans.
+    vpns: Vec<u64>,
+    /// Recency stamps; larger = more recently touched. Stamps are unique
+    /// (one tick per touch), so the minimum identifies the LRU slot.
+    stamps: Vec<u64>,
+    /// Cached translations, index-parallel with `vpns`.
+    entries: Vec<PageEntry>,
+    /// Monotonic recency clock; bumped on every access.
+    tick: u64,
+    /// Slots of the last two distinct hits, most recent first. Graph
+    /// traversal alternates between regions (offsets → neighbors → ranks),
+    /// and the caller's own same-page memo already filters consecutive
+    /// repeats, so the stream reaching the TLB *alternates* pages — two
+    /// slots catch that pattern where one cannot. The memo is
+    /// self-validating (the slot's VPN is re-checked on every use), so
+    /// evictions and `swap_remove` need no invalidation hooks, and a memo
+    /// hit still refreshes the stamp: behaviour is identical to the scan,
+    /// it just skips the search.
+    memo: [usize; 2],
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -38,7 +71,11 @@ impl Tlb {
         assert!(capacity > 0, "TLB capacity must be positive");
         Tlb {
             capacity,
+            vpns: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             entries: Vec::with_capacity(capacity),
+            tick: 0,
+            memo: [usize::MAX, usize::MAX],
             hits: 0,
             misses: 0,
             invalidations: 0,
@@ -49,34 +86,86 @@ impl Tlb {
     /// On a miss, calls `walk` to obtain the entry, inserts it (evicting the
     /// LRU entry if full), and returns `None` so the caller can charge the
     /// page-walk latency.
+    #[inline]
     pub fn access(&mut self, vpn: u64, walk: impl FnOnce() -> PageEntry) -> Option<PageEntry> {
-        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
-            let e = self.entries.remove(pos);
-            self.entries.push(e);
+        let (entry, hit) = self.access_entry(vpn, walk);
+        hit.then_some(entry)
+    }
+
+    /// Like [`Tlb::access`], but returns the entry in both cases along with
+    /// the hit flag — the demand path needs the translation regardless, and
+    /// re-probing after a miss would cost a second scan.
+    #[inline]
+    pub fn access_entry(
+        &mut self,
+        vpn: u64,
+        walk: impl FnOnce() -> PageEntry,
+    ) -> (PageEntry, bool) {
+        self.access_or_walk(vpn, || Some(walk()))
+            .expect("infallible walk")
+    }
+
+    /// Like [`Tlb::access_entry`], but with a fallible walk: when `walk`
+    /// returns `None` (a page fault), the TLB is left completely untouched —
+    /// no stats, no recency bump, no insertion — exactly as if the lookup
+    /// had been a side-effect-free probe. This is the MTLB's drop-on-fault
+    /// policy (Section V-C3) in one scan instead of a probe + re-access.
+    #[inline]
+    pub fn access_or_walk(
+        &mut self,
+        vpn: u64,
+        walk: impl FnOnce() -> Option<PageEntry>,
+    ) -> Option<(PageEntry, bool)> {
+        let stamp = self.tick;
+        for k in 0..2 {
+            let i = self.memo[k];
+            if self.vpns.get(i) == Some(&vpn) {
+                self.tick += 1;
+                self.memo = [i, self.memo[1 - k]];
+                self.stamps[i] = stamp;
+                self.hits += 1;
+                return Some((self.entries[i], true));
+            }
+        }
+        if let Some(i) = find_u64(&self.vpns, vpn) {
+            self.tick += 1;
+            self.memo = [i, self.memo[0]];
+            self.stamps[i] = stamp;
             self.hits += 1;
-            return Some(e.1);
+            return Some((self.entries[i], true));
         }
+        let entry = walk()?;
+        self.tick += 1;
         self.misses += 1;
-        let entry = walk();
-        if self.entries.len() == self.capacity {
-            self.entries.remove(0);
-        }
-        self.entries.push((vpn, entry));
-        None
+        let idx = if self.vpns.len() < self.capacity {
+            self.vpns.push(vpn);
+            self.stamps.push(stamp);
+            self.entries.push(entry);
+            self.vpns.len() - 1
+        } else {
+            // Miss in a full TLB: a second scan (over the stamps only)
+            // finds the minimum-stamp (LRU) victim.
+            let lru_idx = min_index_u64(&self.stamps);
+            self.vpns[lru_idx] = vpn;
+            self.stamps[lru_idx] = stamp;
+            self.entries[lru_idx] = entry;
+            lru_idx
+        };
+        self.memo = [idx, self.memo[0]];
+        Some((entry, false))
     }
 
     /// Probes without updating LRU or stats.
     pub fn probe(&self, vpn: u64) -> Option<PageEntry> {
-        self.entries
-            .iter()
-            .find(|(v, _)| *v == vpn)
-            .map(|(_, e)| *e)
+        find_u64(&self.vpns, vpn).map(|i| self.entries[i])
     }
 
     /// Invalidates a single page, returning whether it was present.
     pub fn invalidate(&mut self, vpn: u64) -> bool {
-        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
-            self.entries.remove(pos);
+        if let Some(pos) = find_u64(&self.vpns, vpn) {
+            self.vpns.swap_remove(pos);
+            self.stamps.swap_remove(pos);
+            self.entries.swap_remove(pos);
             self.invalidations += 1;
             true
         } else {
@@ -89,21 +178,32 @@ impl Tlb {
     /// MTLB caches only property mappings, so during a shootdown it only
     /// processes invalidations whose TLB extra bit is `0` (non-structure).
     pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64, &PageEntry) -> bool) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|(v, e)| !pred(*v, e));
-        let dropped = before - self.entries.len();
+        // Order-preserving lockstep compaction of the three arrays.
+        let mut kept = 0;
+        for i in 0..self.vpns.len() {
+            if !pred(self.vpns[i], &self.entries[i]) {
+                self.vpns[kept] = self.vpns[i];
+                self.stamps[kept] = self.stamps[i];
+                self.entries[kept] = self.entries[i];
+                kept += 1;
+            }
+        }
+        let dropped = self.vpns.len() - kept;
+        self.vpns.truncate(kept);
+        self.stamps.truncate(kept);
+        self.entries.truncate(kept);
         self.invalidations += dropped as u64;
         dropped
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.vpns.len()
     }
 
     /// Whether the TLB holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.vpns.is_empty()
     }
 
     /// (hits, misses, invalidations) counters.
@@ -139,6 +239,17 @@ mod tests {
         assert!(t.access(10, || e(1)).is_none());
         assert_eq!(t.access(10, || unreachable!()).unwrap().frame, 1);
         assert_eq!(t.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn access_entry_returns_walked_entry_on_miss() {
+        let mut t = Tlb::new(2);
+        let (entry, hit) = t.access_entry(3, || e(9));
+        assert!(!hit);
+        assert_eq!(entry.frame, 9);
+        let (entry, hit) = t.access_entry(3, || unreachable!());
+        assert!(hit);
+        assert_eq!(entry.frame, 9);
     }
 
     #[test]
@@ -194,6 +305,46 @@ mod tests {
         t.access(1, || e(1));
         t.access(1, || unreachable!());
         assert!((t.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refill_after_invalidate_reuses_capacity() {
+        let mut t = Tlb::new(2);
+        t.access(1, || e(1));
+        t.access(2, || e(2));
+        t.invalidate(1);
+        t.access(3, || e(3)); // fits in the freed slot, 2 survives
+        assert!(t.probe(2).is_some());
+        assert!(t.probe(3).is_some());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn failed_walk_leaves_tlb_untouched() {
+        let mut t = Tlb::new(2);
+        t.access(1, || e(1));
+        let stats = t.stats();
+        assert_eq!(t.access_or_walk(9, || None), None);
+        // A fault is invisible: stats, contents, and recency all unchanged.
+        assert_eq!(t.stats(), stats);
+        assert_eq!(t.len(), 1);
+        t.access(2, || e(2));
+        t.access(3, || e(3)); // evicts 1, proving 9 never aged anything
+        assert!(t.probe(2).is_some());
+        assert!(t.probe(3).is_some());
+    }
+
+    #[test]
+    fn access_or_walk_hits_like_access() {
+        let mut t = Tlb::new(2);
+        t.access(4, || e(4));
+        let (entry, hit) = t.access_or_walk(4, || unreachable!()).unwrap();
+        assert!(hit);
+        assert_eq!(entry.frame, 4);
+        let (entry, hit) = t.access_or_walk(5, || Some(e(5))).unwrap();
+        assert!(!hit);
+        assert_eq!(entry.frame, 5);
+        assert_eq!(t.stats(), (1, 2, 0));
     }
 
     #[test]

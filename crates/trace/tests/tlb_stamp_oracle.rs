@@ -1,0 +1,152 @@
+//! Property test pinning the stamp-recency TLB to a naive reorder-on-touch
+//! LRU model — the semantics of the original `Vec` implementation (MRU at
+//! the back, `remove(0)` evicts). Every observable is compared: hit/miss,
+//! returned entries, probes, invalidation results (including
+//! `invalidate_matching` shootdowns), residency, length, and counters.
+//!
+//! Mirrors `crates/cache/tests/packed_lru_oracle.rs`, which plays the same
+//! role for the packed set-associative cache.
+
+use droplet_trace::{PageEntry, Tlb};
+use proptest::prelude::*;
+
+/// Deterministic entry for a vpn; even frames carry the structure bit, so
+/// shootdown predicates can discriminate.
+fn entry_of(vpn: u64) -> PageEntry {
+    PageEntry {
+        frame: vpn + 100,
+        structure: vpn.is_multiple_of(2),
+    }
+}
+
+/// Reference model: reorder-on-touch LRU, front = LRU, back = MRU.
+struct ModelTlb {
+    capacity: usize,
+    entries: Vec<(u64, PageEntry)>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl ModelTlb {
+    fn new(capacity: usize) -> Self {
+        ModelTlb {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn access(&mut self, vpn: u64) -> Option<PageEntry> {
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            self.hits += 1;
+            return Some(e.1);
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((vpn, entry_of(vpn)));
+        None
+    }
+
+    fn probe(&self, vpn: u64) -> Option<PageEntry> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == vpn)
+            .map(|(_, e)| *e)
+    }
+
+    fn invalidate(&mut self, vpn: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            self.entries.remove(pos);
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn invalidate_matching(&mut self, pred: impl Fn(u64, &PageEntry) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(v, e)| !pred(*v, e));
+        let dropped = before - self.entries.len();
+        self.invalidations += dropped as u64;
+        dropped
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Mixed access / probe / invalidate / shootdown streams over an
+    /// eviction-heavy vpn range (capacity 2–8, vpns 0–23).
+    #[test]
+    fn stamp_tlb_matches_reorder_on_touch_model(
+        capacity in 2usize..9,
+        ops in prop::collection::vec((0u32..6, 0u64..24), 1..300),
+    ) {
+        let mut tlb = Tlb::new(capacity);
+        let mut model = ModelTlb::new(capacity);
+
+        for (i, &(op, vpn)) in ops.iter().enumerate() {
+            match op {
+                // Demand accesses dominate the mix, as on the real path.
+                0..=2 => {
+                    let got = tlb.access(vpn, || entry_of(vpn));
+                    let want = model.access(vpn);
+                    prop_assert_eq!(got, want, "access #{} vpn {}", i, vpn);
+                }
+                3 => {
+                    prop_assert_eq!(tlb.probe(vpn), model.probe(vpn), "probe #{}", i);
+                }
+                4 => {
+                    let got = tlb.invalidate(vpn);
+                    let want = model.invalidate(vpn);
+                    prop_assert_eq!(got, want, "invalidate #{} vpn {}", i, vpn);
+                }
+                // Shootdown: alternate the MTLB rule (drop non-structure)
+                // with a vpn-range rule, keyed off the operand's parity.
+                _ => {
+                    let by_structure = vpn.is_multiple_of(2);
+                    let got = tlb.invalidate_matching(|v, e| {
+                        if by_structure { !e.structure } else { v < vpn }
+                    });
+                    let want = model.invalidate_matching(|v, e| {
+                        if by_structure { !e.structure } else { v < vpn }
+                    });
+                    prop_assert_eq!(got, want, "shootdown #{}", i);
+                }
+            }
+            prop_assert_eq!(tlb.len(), model.entries.len(), "len after #{}", i);
+        }
+
+        // Final state: residency of every vpn, and all counters.
+        for vpn in 0..24 {
+            prop_assert_eq!(tlb.probe(vpn), model.probe(vpn), "final residency of {}", vpn);
+        }
+        prop_assert_eq!(tlb.stats(), (model.hits, model.misses, model.invalidations));
+        prop_assert_eq!(tlb.is_empty(), model.entries.is_empty());
+    }
+
+    /// `access_entry` agrees with `access` on the hit flag and always
+    /// returns the walked/cached entry.
+    #[test]
+    fn access_entry_is_access_plus_entry(
+        ops in prop::collection::vec(0u64..16, 1..200),
+    ) {
+        let mut a = Tlb::new(4);
+        let mut b = Tlb::new(4);
+        for &vpn in &ops {
+            let (entry, hit) = a.access_entry(vpn, || entry_of(vpn));
+            let want = b.access(vpn, || entry_of(vpn));
+            prop_assert_eq!(hit, want.is_some());
+            prop_assert_eq!(entry, want.unwrap_or_else(|| entry_of(vpn)));
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}
