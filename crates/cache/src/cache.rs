@@ -49,6 +49,28 @@ impl LineMeta {
     };
 }
 
+/// Test-only fault injection for the conformance suite.
+///
+/// The differential conformance tests (`crates/conformance`) must prove they
+/// can *catch* a replacement-policy bug, not just pass on correct code.
+/// These mutations plant such bugs behind a runtime flag that defaults to
+/// [`CacheMutation::None`]; nothing in the simulator ever sets it. Both
+/// mutations live on the fill path only (off the hot hit path), so the
+/// disabled checks cost one never-taken compare per fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMutation {
+    /// Production behaviour.
+    #[default]
+    None,
+    /// Victim selection is flipped: a fill into a full set evicts the
+    /// *most* recently used way instead of the LRU way.
+    LruFlip,
+    /// Refreshing an already-resident line during [`SetAssocCache::fill`]
+    /// does not bump its recency stamp — the classic "forgot to touch on
+    /// refresh" LRU bug, observable only via later eviction choices.
+    StaleRefresh,
+}
+
 /// Result of a demand hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HitInfo {
@@ -174,6 +196,9 @@ pub struct SetAssocCache {
     /// Number of resident lines carrying an accuracy tag; lets the demand
     /// path skip the tag probe entirely when no prefetches are in flight.
     tracked_count: usize,
+    /// Conformance-suite fault injection; [`CacheMutation::None`] in
+    /// production, only ever set via [`SetAssocCache::set_test_mutation`].
+    mutation: CacheMutation,
     stats: CacheStats,
 }
 
@@ -190,6 +215,7 @@ impl SetAssocCache {
             tick: 0,
             memo: [0, 0],
             tracked_count: 0,
+            mutation: CacheMutation::None,
             cfg,
             stats: CacheStats::default(),
         }
@@ -296,7 +322,9 @@ impl SetAssocCache {
                 continue;
             }
             if t == line {
-                self.stamps[range.start + i] = stamp;
+                if self.mutation != CacheMutation::StaleRefresh {
+                    self.stamps[range.start + i] = stamp;
+                }
                 let w = &mut self.meta[range.start + i];
                 w.ready_at = w.ready_at.min(info.ready_at);
                 w.dirty |= info.dirty;
@@ -320,7 +348,17 @@ impl SetAssocCache {
                 lru_idx = i;
             }
         }
-        let way = range.start + invalid_idx.unwrap_or(lru_idx);
+        let victim_idx = match invalid_idx {
+            Some(i) => i,
+            None if self.mutation == CacheMutation::LruFlip => {
+                // Injected bug: evict the MRU way instead of the LRU way.
+                (0..self.assoc)
+                    .max_by_key(|&i| self.stamps[range.start + i])
+                    .unwrap()
+            }
+            None => lru_idx,
+        };
+        let way = range.start + victim_idx;
         let evicted = match invalid_idx {
             Some(_) => None,
             None => {
@@ -427,6 +465,14 @@ impl SetAssocCache {
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
         self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
+    }
+
+    /// Arms a [`CacheMutation`] — conformance-suite use only. The injected
+    /// bugs exist so the differential tests can prove they catch and shrink
+    /// real replacement-policy regressions.
+    #[doc(hidden)]
+    pub fn set_test_mutation(&mut self, mutation: CacheMutation) {
+        self.mutation = mutation;
     }
 }
 

@@ -21,7 +21,7 @@ pub mod config;
 pub mod reuse;
 pub mod stats;
 
-pub use cache::{EvictedLine, FillInfo, HitInfo, SetAssocCache};
+pub use cache::{CacheMutation, EvictedLine, FillInfo, HitInfo, SetAssocCache};
 pub use config::CacheConfig;
 pub use reuse::{ReuseHistogram, ReuseProfiler};
 pub use stats::{CacheStats, TypedCounter};

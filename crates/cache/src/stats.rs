@@ -63,7 +63,7 @@ impl std::ops::AddAssign for TypedCounter {
 }
 
 /// Statistics for one cache level.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand accesses (loads + stores) reaching this level.
     pub demand_accesses: TypedCounter,

@@ -1,0 +1,183 @@
+//! The differential engine: lockstep replay, first-divergence reporting,
+//! delta-debugging shrinking, and the seeded fuzz driver.
+
+use proptest::{env_seed, TestRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A production structure paired with its reference model.
+///
+/// `apply` drives one operation through *both* sides and returns their
+/// observations; the engine compares them. `reset` must restore both sides
+/// to their initial state — the shrinker replays many candidate streams, so
+/// resets have to be cheap and complete.
+pub trait Harness {
+    /// One operation of the structure's op vocabulary.
+    type Op: Clone + Debug;
+    /// Everything observable after one operation (results, lengths,
+    /// counters); compared for exact equality.
+    type Obs: PartialEq + Debug;
+
+    /// Restores both models to their initial state.
+    fn reset(&mut self);
+
+    /// Applies `op` to both models, returning `(production, reference)`
+    /// observations.
+    fn apply(&mut self, op: &Self::Op) -> (Self::Obs, Self::Obs);
+
+    /// Full `(production, reference)` state dumps for divergence reports.
+    fn dump(&self) -> (String, String);
+}
+
+/// The first step at which production and reference disagreed.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Zero-based index into the op stream.
+    pub step: usize,
+    /// The diverging operation, rendered.
+    pub op: String,
+    /// Production observation.
+    pub got: String,
+    /// Reference observation.
+    pub want: String,
+    /// Production state dump at the divergence.
+    pub prod_state: String,
+    /// Reference state dump at the divergence.
+    pub ref_state: String,
+}
+
+/// Replays `ops` through both models in lockstep (from a fresh reset) and
+/// returns the first divergence, if any.
+pub fn run_lockstep<H: Harness>(h: &mut H, ops: &[H::Op]) -> Option<Divergence> {
+    h.reset();
+    for (step, op) in ops.iter().enumerate() {
+        let (got, want) = h.apply(op);
+        if got != want {
+            let (prod_state, ref_state) = h.dump();
+            return Some(Divergence {
+                step,
+                op: format!("{op:?}"),
+                got: format!("{got:?}"),
+                want: format!("{want:?}"),
+                prod_state,
+                ref_state,
+            });
+        }
+    }
+    None
+}
+
+/// Minimizes a diverging op stream by delta debugging (ddmin over chunk
+/// removals, then a greedy single-op pass). The result still diverges; it is
+/// usually within an op or two of minimal.
+pub fn shrink<H: Harness>(h: &mut H, ops: &[H::Op]) -> Vec<H::Op> {
+    let mut cur: Vec<H::Op> = ops.to_vec();
+    // Everything after the diverging step is irrelevant by construction.
+    if let Some(d) = run_lockstep(h, &cur) {
+        cur.truncate(d.step + 1);
+    } else {
+        return cur; // not a diverging stream; nothing to shrink
+    }
+
+    // ddmin: try removing ever-smaller chunks while the stream still
+    // diverges.
+    let mut granularity = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && run_lockstep(h, &candidate).is_some() {
+                cur = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= cur.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(cur.len());
+        }
+    }
+
+    // Greedy polish: drop any single op that is not load-bearing.
+    let mut i = 0;
+    while i < cur.len() && cur.len() > 1 {
+        let mut candidate = cur.clone();
+        candidate.remove(i);
+        if run_lockstep(h, &candidate).is_some() {
+            cur = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+/// What a clean fuzz run covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Seeds exercised.
+    pub seeds: u64,
+    /// Total operations replayed through both models.
+    pub ops: u64,
+}
+
+/// Fuzzes `h` over a range of seeds: each seed generates one op stream via
+/// `gen` and replays it in lockstep. On divergence the stream is shrunk and
+/// the panic message carries the seed, the `DROPLET_TEST_SEED` perturbation,
+/// the minimized repro, and both state dumps — everything needed to replay.
+///
+/// The effective per-stream seed is `base_seed ^ (env_seed() * φ)`, so
+/// setting `DROPLET_TEST_SEED` explores fresh streams while staying exactly
+/// reproducible.
+pub fn fuzz_and_verify<H: Harness>(
+    h: &mut H,
+    label: &str,
+    seeds: Range<u64>,
+    ops_per_seed: usize,
+    mut gen: impl FnMut(&mut TestRng, usize) -> Vec<H::Op>,
+) -> FuzzReport {
+    let env = env_seed();
+    let n_seeds = seeds.end - seeds.start;
+    let mut total_ops = 0u64;
+    for base in seeds {
+        let seed = base ^ env.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        let ops = gen(&mut rng, ops_per_seed);
+        total_ops += ops.len() as u64;
+        if let Some(d) = run_lockstep(h, &ops) {
+            let repro = shrink(h, &ops[..=d.step]);
+            let confirm = run_lockstep(h, &repro).expect("shrunk stream must still diverge");
+            panic!(
+                "[{label}] production diverged from its reference model\n\
+                 seed {seed} (DROPLET_TEST_SEED={env}; set it to reproduce), \
+                 first divergence at step {} of {} ops, shrunk to {} ops\n\
+                 diverging op: {}\n  production: {}\n  reference:  {}\n\
+                 minimized repro:\n{:#?}\n\
+                 production state at divergence:\n{}\n\
+                 reference state at divergence:\n{}",
+                d.step,
+                ops.len(),
+                repro.len(),
+                confirm.op,
+                confirm.got,
+                confirm.want,
+                repro,
+                confirm.prod_state,
+                confirm.ref_state,
+            );
+        }
+    }
+    FuzzReport {
+        seeds: n_seeds,
+        ops: total_ops,
+    }
+}

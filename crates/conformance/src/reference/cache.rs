@@ -1,0 +1,199 @@
+//! Reference set-associative cache: per-set reorder-on-touch LRU lists
+//! (front = LRU, back = MRU), the semantics of the seed implementation that
+//! the packed stamp-LRU rewrite must preserve. Mirrors the full observable
+//! surface of `droplet_cache::SetAssocCache`, including every statistics
+//! counter and the prefetch accuracy-tag lifecycle.
+
+use droplet_cache::{CacheConfig, CacheStats, EvictedLine, FillInfo, HitInfo};
+use droplet_trace::{Cycle, DataType};
+
+/// One resident line with all its payload bits.
+#[derive(Debug, Clone, Copy)]
+struct RefLine {
+    line: u64,
+    dtype: DataType,
+    ready_at: Cycle,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    tracked: Option<DataType>,
+}
+
+/// The reference cache.
+#[derive(Debug)]
+pub struct RefCache {
+    num_sets: u64,
+    assoc: usize,
+    /// Per-set recency order: front = LRU, back = MRU.
+    sets: Vec<Vec<RefLine>>,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    /// An empty cache with the same geometry as the production one.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        RefCache {
+            num_sets: cfg.num_sets() as u64,
+            assoc: cfg.assoc,
+            sets: vec![Vec::new(); cfg.num_sets()],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accumulated statistics (compared verbatim against production).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_of(&mut self, line: u64) -> &mut Vec<RefLine> {
+        let s = (line % self.num_sets) as usize;
+        &mut self.sets[s]
+    }
+
+    fn evicted(e: RefLine) -> EvictedLine {
+        EvictedLine {
+            line: e.line,
+            dirty: e.dirty,
+            prefetched: e.prefetched,
+            used: e.used,
+            dtype: e.dtype,
+            tracked: e.tracked,
+        }
+    }
+
+    /// Contract of `SetAssocCache::touch`.
+    pub fn touch(
+        &mut self,
+        line: u64,
+        now: Cycle,
+        dtype: DataType,
+        is_store: bool,
+    ) -> Option<HitInfo> {
+        self.stats.demand_accesses.bump(dtype);
+        let set = self.set_of(line);
+        let pos = set.iter().position(|l| l.line == line)?;
+        let mut e = set.remove(pos);
+        let first_prefetch_use = e.prefetched && !e.used;
+        e.used = true;
+        e.dirty |= is_store;
+        let ready_at = e.ready_at.max(now);
+        set.push(e);
+        self.stats.demand_hits.bump(dtype);
+        if first_prefetch_use {
+            self.stats.prefetch_first_uses.bump(dtype);
+        }
+        if ready_at > now {
+            self.stats.late_prefetch_hits.bump(dtype);
+        }
+        Some(HitInfo {
+            ready_at,
+            first_prefetch_use,
+        })
+    }
+
+    /// Contract of `SetAssocCache::fill`: refresh keeps the earlier arrival
+    /// time, a demand fill of a prefetched-unused line counts as its first
+    /// use, the accuracy tag is first-writer-wins, and a full set evicts its
+    /// LRU line.
+    pub fn fill(&mut self, line: u64, info: FillInfo) -> Option<EvictedLine> {
+        if info.prefetched {
+            self.stats.prefetch_fills.bump(info.dtype);
+        } else {
+            self.stats.demand_fills.bump(info.dtype);
+        }
+        let assoc = self.assoc;
+        let set = self.set_of(line);
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let mut e = set.remove(pos);
+            e.ready_at = e.ready_at.min(info.ready_at);
+            e.dirty |= info.dirty;
+            if info.track && e.tracked.is_none() {
+                e.tracked = Some(info.dtype);
+            }
+            let first_use = !info.prefetched && e.prefetched && !e.used;
+            if first_use {
+                e.used = true;
+            }
+            let resident_dtype = e.dtype;
+            set.push(e);
+            if first_use {
+                // Note: counted against the *resident* line's type, not the
+                // fill's — the fill is the use, the line is what was fetched.
+                self.stats.prefetch_first_uses.bump(resident_dtype);
+            }
+            return None;
+        }
+        let evicted = if set.len() == assoc {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push(RefLine {
+            line,
+            dtype: info.dtype,
+            ready_at: info.ready_at,
+            dirty: info.dirty,
+            prefetched: info.prefetched,
+            used: false,
+            tracked: info.track.then_some(info.dtype),
+        });
+        evicted.map(|v| {
+            if v.prefetched && !v.used {
+                self.stats.prefetch_unused_evictions.bump(v.dtype);
+            }
+            Self::evicted(v)
+        })
+    }
+
+    /// Contract of `SetAssocCache::invalidate`.
+    pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        let set = self.set_of(line);
+        let pos = set.iter().position(|l| l.line == line)?;
+        let v = set.remove(pos);
+        self.stats.inclusion_invalidations += 1;
+        if v.prefetched && !v.used {
+            self.stats.prefetch_unused_evictions.bump(v.dtype);
+        }
+        Some(Self::evicted(v))
+    }
+
+    /// Contract of `SetAssocCache::take_tracked` (pure tag operation).
+    pub fn take_tracked(&mut self, line: u64) -> Option<DataType> {
+        let set = self.set_of(line);
+        let pos = set.iter().position(|l| l.line == line)?;
+        set[pos].tracked.take()
+    }
+
+    /// Contract of `SetAssocCache::mark_tracked` (first-writer-wins).
+    pub fn mark_tracked(&mut self, line: u64, dtype: DataType) -> bool {
+        let set = self.set_of(line);
+        match set.iter_mut().find(|l| l.line == line) {
+            Some(e) => {
+                if e.tracked.is_none() {
+                    e.tracked = Some(dtype);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any resident line carries an accuracy tag (computed by scan —
+    /// the production `tracked_count` is an optimization over this).
+    pub fn has_tracked(&self) -> bool {
+        self.sets
+            .iter()
+            .any(|s| s.iter().any(|l| l.tracked.is_some()))
+    }
+
+    /// Side-effect-free residency probe.
+    pub fn contains(&self, line: u64) -> bool {
+        let s = (line % self.num_sets) as usize;
+        self.sets[s].iter().any(|l| l.line == line)
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}

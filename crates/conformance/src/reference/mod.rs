@@ -1,0 +1,21 @@
+//! Executable reference models: the *contract* of each optimized structure,
+//! restated with the simplest data structures that can express it.
+//!
+//! These models trade every optimization in the production code — packed
+//! arrays, recency stamps, memo slots, heaps, dense tables — for linear
+//! scans over plain `Vec`s and reorder-on-touch LRU lists. They are the
+//! executable specification: when a differential run diverges, the reference
+//! model's answer is the correct one by definition, and the production
+//! structure has a bug (or the contract changed and both must move together).
+
+pub mod cache;
+pub mod mshr;
+pub mod page;
+pub mod prefetch;
+pub mod tlb;
+
+pub use cache::RefCache;
+pub use mshr::RefMshr;
+pub use page::RefPageTable;
+pub use prefetch::{RefGhb, RefNextLine, RefStream, RefVldp};
+pub use tlb::RefTlb;

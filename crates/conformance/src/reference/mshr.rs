@@ -1,0 +1,55 @@
+//! Reference MSHR file: a flat `Vec` of slot free-times with linear-scan
+//! minimum, the semantics of the seed implementation the binary min-heap
+//! must preserve. Slots are interchangeable, so only the *multiset* of free
+//! times is observable — `earliest_free` and `busy_at` cover it entirely.
+
+use droplet_trace::Cycle;
+
+/// The reference MSHR file.
+#[derive(Debug)]
+pub struct RefMshr {
+    slots: Vec<Cycle>,
+}
+
+impl RefMshr {
+    /// A file of `entries` slots, all free at cycle 0.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "MSHR file needs at least one entry");
+        RefMshr {
+            slots: vec![0; entries],
+        }
+    }
+
+    /// Contract of `MshrFile::earliest_free`: minimum over all slots.
+    pub fn earliest_free(&self) -> Cycle {
+        *self.slots.iter().min().expect("non-empty file")
+    }
+
+    /// Contract of `MshrFile::allocate`: claim *a* slot with the minimum
+    /// free time (interchangeability makes the choice unobservable) and
+    /// re-arm it to free at `complete_at`.
+    pub fn allocate(&mut self, complete_at: Cycle) {
+        let (idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .expect("non-empty file");
+        self.slots[idx] = complete_at;
+    }
+
+    /// Contract of `MshrFile::busy_at`: slots still busy at `now`.
+    pub fn busy_at(&self, now: Cycle) -> usize {
+        self.slots.iter().filter(|&&c| c > now).count()
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the file has no slots (never true for a constructed file).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}

@@ -1,0 +1,76 @@
+//! Reference page table: one `HashMap` from VPN to entry, the semantics the
+//! production dense-window/spill split must preserve for *every* address —
+//! inside the dense window, past its limit, and below the space base.
+
+use droplet_trace::{AddressSpace, PageEntry, PhysAddr, VirtAddr, PAGE_BYTES};
+use std::collections::HashMap;
+
+/// The reference page table.
+#[derive(Debug)]
+pub struct RefPageTable {
+    map: HashMap<u64, PageEntry>,
+    next_frame: u64,
+    walks: u64,
+}
+
+impl RefPageTable {
+    /// An empty table; frames assigned sequentially from 1 on first touch.
+    pub fn new() -> Self {
+        RefPageTable {
+            map: HashMap::new(),
+            next_frame: 1,
+            walks: 0,
+        }
+    }
+
+    fn entry_of(&mut self, va: VirtAddr, space: &AddressSpace) -> PageEntry {
+        let vpn = va.page_number();
+        if let Some(e) = self.map.get(&vpn) {
+            return *e;
+        }
+        let e = PageEntry {
+            frame: self.next_frame,
+            structure: space.is_structure_page(va),
+        };
+        self.next_frame += 1;
+        self.map.insert(vpn, e);
+        e
+    }
+
+    /// Contract of `PageTable::translate`: first-touch frame allocation,
+    /// structure bit from the allocating region, one counted walk.
+    pub fn translate(&mut self, va: VirtAddr, space: &AddressSpace) -> (PhysAddr, PageEntry) {
+        let entry = self.entry_of(va, space);
+        self.walks += 1;
+        (
+            PhysAddr::new(entry.frame * PAGE_BYTES + va.page_offset()),
+            entry,
+        )
+    }
+
+    /// Contract of `PageTable::populate`: maps without counting a walk.
+    pub fn populate(&mut self, va: VirtAddr, space: &AddressSpace) {
+        let _ = self.entry_of(va, space);
+    }
+
+    /// Contract of `PageTable::lookup`: probe without populating.
+    pub fn lookup(&self, va: VirtAddr) -> Option<PageEntry> {
+        self.map.get(&va.page_number()).copied()
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of counted page walks.
+    pub fn translations(&self) -> u64 {
+        self.walks
+    }
+}
+
+impl Default for RefPageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}

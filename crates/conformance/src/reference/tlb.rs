@@ -1,0 +1,105 @@
+//! Reference TLB: one reorder-on-touch LRU list (front = LRU, back = MRU),
+//! the semantics of the seed `Vec` implementation that the stamp-LRU SoA
+//! rewrite must preserve — including the MTLB drop-on-fault rule, where a
+//! failed walk leaves the TLB completely untouched.
+
+use droplet_trace::PageEntry;
+
+/// The reference TLB.
+#[derive(Debug)]
+pub struct RefTlb {
+    capacity: usize,
+    /// Recency order: front = LRU, back = MRU.
+    entries: Vec<(u64, PageEntry)>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl RefTlb {
+    /// An empty TLB of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        RefTlb {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Contract of `Tlb::access_or_walk`: hit refreshes recency and returns
+    /// the cached entry; miss walks, and a faulting walk (`None`) leaves
+    /// contents, recency, and counters all untouched.
+    pub fn access_or_walk(
+        &mut self,
+        vpn: u64,
+        walk: impl FnOnce() -> Option<PageEntry>,
+    ) -> Option<(PageEntry, bool)> {
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            self.hits += 1;
+            return Some((e.1, true));
+        }
+        let entry = walk()?;
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((vpn, entry));
+        Some((entry, false))
+    }
+
+    /// Contract of `Tlb::access`.
+    pub fn access(&mut self, vpn: u64, walk: impl FnOnce() -> PageEntry) -> Option<PageEntry> {
+        let (entry, hit) = self
+            .access_or_walk(vpn, || Some(walk()))
+            .expect("infallible walk");
+        hit.then_some(entry)
+    }
+
+    /// Contract of `Tlb::probe` (no LRU or counter side effects).
+    pub fn probe(&self, vpn: u64) -> Option<PageEntry> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == vpn)
+            .map(|(_, e)| *e)
+    }
+
+    /// Contract of `Tlb::invalidate`.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            self.entries.remove(pos);
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Contract of `Tlb::invalidate_matching` (shootdown by predicate).
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64, &PageEntry) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(v, e)| !pred(*v, e));
+        let dropped = before - self.entries.len();
+        self.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses, invalidations) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+}

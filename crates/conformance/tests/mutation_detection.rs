@@ -1,0 +1,57 @@
+//! The suite's self-test: with a known bug injected into the production
+//! cache (behind the test-only [`CacheMutation`] hook), the differential
+//! engine must catch it quickly and shrink the failing stream to a tiny
+//! repro. A fuzzer that cannot catch a flipped LRU or a stale refresh is not
+//! protecting anything.
+
+use conformance::harness::{gen_cache_ops, small_cache_config, CacheHarness};
+use conformance::{run_lockstep, shrink};
+use droplet_cache::CacheMutation;
+use proptest::TestRng;
+
+/// Finds a diverging stream for the mutated cache, shrinks it, and checks
+/// the repro is tiny and still diverges.
+fn catch_and_shrink(mutation: CacheMutation) {
+    let mut h = CacheHarness::new(small_cache_config(), mutation);
+    for seed in 0..64u64 {
+        let mut rng = TestRng::from_seed(seed);
+        let ops = gen_cache_ops(&mut rng, 700);
+        if let Some(d) = run_lockstep(&mut h, &ops) {
+            let repro = shrink(&mut h, &ops[..=d.step]);
+            let confirm = run_lockstep(&mut h, &repro);
+            assert!(
+                confirm.is_some(),
+                "{mutation:?}: shrunk stream no longer diverges"
+            );
+            assert!(
+                repro.len() <= 20,
+                "{mutation:?}: repro not minimal: {} ops\n{repro:#?}",
+                repro.len()
+            );
+            return;
+        }
+    }
+    panic!("{mutation:?}: injected bug never caught in 64 fuzzed streams");
+}
+
+#[test]
+fn lru_flip_is_caught_and_shrunk() {
+    catch_and_shrink(CacheMutation::LruFlip);
+}
+
+#[test]
+fn stale_refresh_is_caught_and_shrunk() {
+    catch_and_shrink(CacheMutation::StaleRefresh);
+}
+
+/// Sanity: with no mutation armed the very same streams are divergence-free
+/// (otherwise the two tests above could pass by catching a harness bug).
+#[test]
+fn unmutated_cache_survives_the_same_streams() {
+    let mut h = CacheHarness::new(small_cache_config(), CacheMutation::None);
+    for seed in 0..64u64 {
+        let mut rng = TestRng::from_seed(seed);
+        let ops = gen_cache_ops(&mut rng, 700);
+        assert!(run_lockstep(&mut h, &ops).is_none(), "seed {seed} diverged");
+    }
+}

@@ -15,6 +15,7 @@
 
 use droplet::gap::Algorithm;
 use droplet::graph::{Dataset, DatasetScale};
+use droplet::pool::JobPool;
 use droplet::trace::DataType;
 use droplet::{run_workload, PrefetcherKind, RunResult, SystemConfig};
 use std::sync::Arc;
@@ -212,4 +213,39 @@ fn bfs_no_l2_digests_are_stable() {
         ("DROPLET", 0x42aed4636d402fa8),
     ];
     check("bfs-no-l2", &runs, &GOLDEN);
+}
+
+/// The same fan-out run serially and on four workers must digest
+/// identically: simulation results may not depend on the thread count.
+/// (Explicit `with_threads` rather than `DROPLET_THREADS` — mutating the
+/// environment would race with other tests in this binary.)
+#[test]
+fn digests_are_thread_count_invariant() {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Arc::new(Algorithm::Pr.trace(&g, 60_000));
+    let cfg = SystemConfig::test_scale();
+
+    let jobs = |pool: JobPool| -> Vec<u64> {
+        pool.run(
+            KINDS
+                .iter()
+                .map(|&k| {
+                    let bundle = Arc::clone(&bundle);
+                    let cfg = cfg.with_prefetcher(k);
+                    move || digest(&run_workload(&bundle, &cfg, 2_000))
+                })
+                .collect(),
+        )
+    };
+
+    let serial = jobs(JobPool::with_threads(1));
+    let parallel = jobs(JobPool::with_threads(4));
+    for ((&kind, s), p) in KINDS.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            s,
+            p,
+            "{}: serial digest {s:#018x} != 4-thread digest {p:#018x}",
+            kind.name()
+        );
+    }
 }

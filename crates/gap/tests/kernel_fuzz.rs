@@ -1,0 +1,145 @@
+//! Cross-validation of the traced GAP kernels against their pure reference
+//! implementations on fuzzed random graphs.
+//!
+//! Every traced kernel is also a functional computation: run un-budgeted it
+//! must produce *exactly* the reference result (bit-exact, including the
+//! floating-point workloads — both sides accumulate in the same order) on
+//! any graph, not just the fixed datasets the inline tests use. Graphs are
+//! drawn from all three generator families across seeded shapes; reproduce
+//! a failure with `DROPLET_TEST_SEED`.
+
+use droplet_gap::Algorithm;
+use droplet_graph::gen::{
+    grid, grid_weighted, rmat, rmat_weighted, uniform, uniform_weighted, RmatSkew,
+};
+use droplet_graph::Csr;
+use proptest::TestRng;
+use std::sync::Arc;
+
+/// One fuzzed graph: the unweighted form for BFS/PR/CC/BC and the
+/// same-shape weighted form for SSSP.
+fn fuzz_graph(rng: &mut TestRng, case: usize) -> (String, Csr, Csr) {
+    match case % 3 {
+        0 => {
+            let scale = 4 + (rng.below(3) as u32); // 16–64 vertices
+            let ef = 2 + rng.below(6);
+            let skew =
+                [RmatSkew::Kron, RmatSkew::Social, RmatSkew::Community][rng.below(3) as usize];
+            let seed = rng.next_u64();
+            (
+                format!("rmat(scale={scale}, ef={ef}, {skew:?}, seed={seed:#x})"),
+                rmat(scale, ef, skew, seed),
+                rmat_weighted(scale, ef, skew, seed),
+            )
+        }
+        1 => {
+            let n = 16 + (rng.below(200) as u32);
+            let m = u64::from(n) * (1 + rng.below(8));
+            let seed = rng.next_u64();
+            (
+                format!("uniform(n={n}, m={m}, seed={seed:#x})"),
+                uniform(n, m, seed),
+                uniform_weighted(n, m, seed),
+            )
+        }
+        _ => {
+            let rows = 2 + (rng.below(12) as u32);
+            let cols = 2 + (rng.below(12) as u32);
+            let pm = rng.below(120) as u32;
+            let seed = rng.next_u64();
+            (
+                format!("grid({rows}x{cols}, pm={pm}, seed={seed:#x})"),
+                grid(rows, cols, pm, seed),
+                grid_weighted(rows, cols, pm, seed),
+            )
+        }
+    }
+}
+
+/// The traced digest of one algorithm must equal its reference result.
+fn check(alg: Algorithm, g: &Arc<Csr>, label: &str) {
+    let bundle = alg.trace(g, u64::MAX);
+    assert!(bundle.completed, "{alg} on {label}: budget must not bind");
+    let ok = match (&bundle.digest, alg) {
+        (droplet_gap::Digest::Ints(got), Algorithm::Bfs) => *got == droplet_gap::bfs::reference(g),
+        (droplet_gap::Digest::Ints(got), Algorithm::Cc) => *got == droplet_gap::cc::reference(g),
+        (droplet_gap::Digest::Ints(got), Algorithm::Sssp) => {
+            *got == droplet_gap::sssp::reference(g)
+        }
+        (droplet_gap::Digest::Floats(got), Algorithm::Pr) => *got == droplet_gap::pr::reference(g),
+        (droplet_gap::Digest::Floats(got), Algorithm::Bc) => *got == droplet_gap::bc::reference(g),
+        (d, a) => panic!("{a} produced unexpected digest variant {d:?}"),
+    };
+    assert!(ok, "{alg} diverged from reference on {label}");
+}
+
+fn fuzz_algorithm(alg: Algorithm, cases: usize) {
+    let mut rng = TestRng::for_test(&format!("kernel_fuzz::{alg}"));
+    for case in 0..cases {
+        let (label, plain, weighted) = fuzz_graph(&mut rng, case);
+        let g = Arc::new(if alg.needs_weights() { weighted } else { plain });
+        check(alg, &g, &label);
+    }
+}
+
+#[test]
+fn bfs_matches_reference_on_fuzzed_graphs() {
+    fuzz_algorithm(Algorithm::Bfs, 12);
+}
+
+#[test]
+fn pr_matches_reference_on_fuzzed_graphs() {
+    fuzz_algorithm(Algorithm::Pr, 12);
+}
+
+#[test]
+fn cc_matches_reference_on_fuzzed_graphs() {
+    fuzz_algorithm(Algorithm::Cc, 12);
+}
+
+#[test]
+fn sssp_matches_reference_on_fuzzed_graphs() {
+    fuzz_algorithm(Algorithm::Sssp, 12);
+}
+
+#[test]
+fn bc_matches_reference_on_fuzzed_graphs() {
+    fuzz_algorithm(Algorithm::Bc, 12);
+}
+
+/// Degenerate shapes the generators can emit: isolated vertices, self-loop
+/// heavy graphs, and a single-vertex graph must not diverge either.
+#[test]
+fn edge_case_graphs_match_reference() {
+    use droplet_graph::CsrBuilder;
+
+    // One vertex, no edges (weighted flavor carries a self-loop for SSSP).
+    let lone = Arc::new(CsrBuilder::new(1).build());
+    let mut lone_w = CsrBuilder::new(1);
+    lone_w.push_weighted_edge(0, 0, 1);
+    let lone_w = Arc::new(lone_w.build());
+
+    // A star with isolated stragglers, self-loops included.
+    let mut star = CsrBuilder::new(8);
+    let mut star_w = CsrBuilder::new(8);
+    for v in 1..5 {
+        star.push_edge(0, v);
+        star.push_edge(v, 0);
+        star_w.push_weighted_edge(0, v, v * 7 % 11 + 1);
+        star_w.push_weighted_edge(v, 0, v * 3 % 5 + 1);
+    }
+    star.push_edge(2, 2);
+    star_w.push_weighted_edge(2, 2, 1);
+    let star = Arc::new(star.build());
+    let star_w = Arc::new(star_w.build());
+
+    for alg in Algorithm::ALL {
+        let (small, big) = if alg.needs_weights() {
+            (&lone_w, &star_w)
+        } else {
+            (&lone, &star)
+        };
+        check(alg, small, "single-vertex");
+        check(alg, big, "star-with-stragglers");
+    }
+}

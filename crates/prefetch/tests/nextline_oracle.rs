@@ -1,0 +1,89 @@
+//! Oracle tests for the next-line prefetcher: exact expected request
+//! sequences computed by hand, plus seeded randomized invariants
+//! (reproduce with `DROPLET_TEST_SEED`).
+
+use droplet_prefetch::{AccessEvent, EventKind, NextLinePrefetcher, Prefetcher};
+use droplet_trace::{DataType, VirtAddr, LINE_BYTES, PAGE_BYTES};
+use proptest::TestRng;
+
+const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+fn miss(line: u64, dtype: DataType) -> AccessEvent {
+    AccessEvent {
+        vaddr: VirtAddr::new(line * LINE_BYTES),
+        kind: EventKind::L1Miss,
+        is_structure: dtype == DataType::Structure,
+        dtype,
+    }
+}
+
+fn lines(out: &[droplet_prefetch::PrefetchRequest]) -> Vec<u64> {
+    out.iter().map(|r| r.vline).collect()
+}
+
+#[test]
+fn exact_sequence_and_tags() {
+    let mut pf = NextLinePrefetcher::new(3);
+    let mut out = Vec::new();
+    pf.on_access(&miss(200, DataType::Property), &mut out);
+    assert_eq!(lines(&out), vec![201, 202, 203]);
+    // Requests inherit the trigger's data type and never use the L3 queue.
+    assert!(out
+        .iter()
+        .all(|r| r.dtype == DataType::Property && !r.into_l3_queue));
+    assert_eq!(pf.issued(), 3);
+
+    // The counter accumulates across triggers.
+    out.clear();
+    pf.on_access(&miss(500, DataType::Structure), &mut out);
+    assert_eq!(lines(&out), vec![501, 502, 503]);
+    assert_eq!(out[0].dtype, DataType::Structure);
+    assert_eq!(pf.issued(), 6);
+}
+
+#[test]
+fn clamps_exactly_at_page_end() {
+    let mut pf = NextLinePrefetcher::new(8);
+    let mut out = Vec::new();
+    // Line 61 of page 0: only 62 and 63 remain in the page.
+    pf.on_access(&miss(61, DataType::Structure), &mut out);
+    assert_eq!(lines(&out), vec![62, 63]);
+
+    // The very last line of a page prefetches nothing.
+    out.clear();
+    pf.on_access(&miss(LINES_PER_PAGE - 1, DataType::Structure), &mut out);
+    assert!(out.is_empty());
+    assert_eq!(pf.issued(), 2);
+}
+
+#[test]
+fn only_l1_misses_trigger() {
+    let mut pf = NextLinePrefetcher::new(2);
+    let mut out = Vec::new();
+    let mut ev = miss(10, DataType::Structure);
+    ev.kind = EventKind::L2Hit;
+    pf.on_access(&ev, &mut out);
+    assert!(out.is_empty());
+    assert_eq!(pf.issued(), 0);
+}
+
+/// Seeded invariant sweep: for random lines and degrees, the emitted run is
+/// exactly the consecutive lines after the trigger, truncated at the page
+/// end, and the issue counter matches.
+#[test]
+fn randomized_requests_are_consecutive_and_page_bounded() {
+    let mut rng = TestRng::for_test("nextline_oracle");
+    for _ in 0..2_000 {
+        let degree = 1 + rng.below(8);
+        let line = rng.below(256 * LINES_PER_PAGE);
+        let page_last = (line / LINES_PER_PAGE + 1) * LINES_PER_PAGE - 1;
+
+        let mut pf = NextLinePrefetcher::new(degree);
+        let mut out = Vec::new();
+        pf.on_access(&miss(line, DataType::Property), &mut out);
+
+        let expect: Vec<u64> = (line + 1..=(line + degree).min(page_last)).collect();
+        assert_eq!(lines(&out), expect, "line {line} degree {degree}");
+        assert_eq!(pf.issued(), expect.len() as u64);
+    }
+}

@@ -11,12 +11,39 @@
 //! - Strategies: integer ranges (`0u64..64`, `1usize..16`), inclusive
 //!   ranges, tuples of strategies, and `prop::collection::vec(elem, sizes)`.
 //! - `prop_assert!` / `prop_assert_eq!` report the failing case index.
+//! - Seed reproducibility: every test's stream is perturbed by the
+//!   [`SEED_ENV`] environment variable (`DROPLET_TEST_SEED`, decimal or
+//!   `0x`-prefixed hex). Failure messages print the effective seed, so any
+//!   failing run — including ones under a non-zero exploration seed — can be
+//!   replayed exactly by exporting that value.
 //!
 //! Not implemented: shrinking, `prop_oneof`, mapped/filtered strategies,
 //! persistence files. Failing inputs are printed instead of shrunk.
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
+
+/// Environment variable perturbing every property-test stream. `0` (or
+/// unset) is the default deterministic stream; any other value explores a
+/// different deterministic input sequence.
+pub const SEED_ENV: &str = "DROPLET_TEST_SEED";
+
+/// Parses a seed value as decimal or `0x`-prefixed hex.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// The effective seed from [`SEED_ENV`], or 0 when unset/unparseable.
+pub fn env_seed() -> u64 {
+    std::env::var(SEED_ENV)
+        .ok()
+        .and_then(|v| parse_seed(&v))
+        .unwrap_or(0)
+}
 
 /// Deterministic per-test random stream (SplitMix64).
 #[derive(Debug, Clone)]
@@ -25,15 +52,22 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// Seeds the stream from the test's name so each test gets a stable,
-    /// independent sequence.
+    /// Seeds the stream from the test's name — XOR-perturbed by
+    /// [`env_seed`], so each test gets a stable, independent sequence that
+    /// `DROPLET_TEST_SEED` can both vary and reproduce.
     pub fn for_test(name: &str) -> Self {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { state: h }
+        TestRng::from_seed(h ^ env_seed())
+    }
+
+    /// Seeds the stream from an explicit value (the conformance fuzzer's
+    /// entry point: it reports this seed on divergence).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
     }
 
     /// The next 64 random bits.
@@ -172,6 +206,7 @@ pub mod prop {
 /// The common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::prop;
+    pub use crate::{env_seed, parse_seed, SEED_ENV};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
 }
@@ -206,10 +241,11 @@ macro_rules! __proptest_impl {
                 })();
                 if let ::std::result::Result::Err(e) = outcome {
                     panic!(
-                        "proptest {} failed at case {}/{}: {}",
+                        "proptest {} failed at case {}/{} (DROPLET_TEST_SEED={}; set it to reproduce): {}",
                         stringify!($name),
                         case,
                         config.cases,
+                        $crate::env_seed(),
                         e
                     );
                 }
@@ -334,6 +370,27 @@ mod tests {
         fn macro_default_config_runs(x in 0u8..2) {
             prop_assert!(x < 2);
         }
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("0"), Some(0));
+        assert_eq!(parse_seed("12345"), Some(12345));
+        assert_eq!(parse_seed("0xdeadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed(" 7 "), Some(7));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn explicit_seed_gives_independent_reproducible_streams() {
+        let take = |seed: u64| -> Vec<u64> {
+            let mut r = TestRng::from_seed(seed);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(take(42), take(42));
+        assert_ne!(take(42), take(43));
     }
 
     #[test]
