@@ -71,8 +71,11 @@ pub fn object(pairs: &[(String, String)]) -> String {
 }
 
 /// Splits `{"k1": v1, "k2": v2, ...}` into `[(k1, v1), ...]` where each `v`
-/// is the raw JSON slice. Returns `None` on malformed input.
-fn split_top_level(s: &str) -> Option<Vec<(String, String)>> {
+/// is the raw JSON slice. Returns `None` on malformed input, including
+/// stray closing brackets inside a value (`{"a": 1]}`). Public so
+/// `droplet-bench-diff` can walk report files with the same parser that
+/// writes them.
+pub fn split_top_level(s: &str) -> Option<Vec<(String, String)>> {
     let s = s.trim();
     let inner = s.strip_prefix('{')?.strip_suffix('}')?;
     let mut out = Vec::new();
@@ -100,7 +103,15 @@ fn split_top_level(s: &str) -> Option<Vec<(String, String)>> {
             match c {
                 '"' => in_str = true,
                 '{' | '[' => depth += 1,
-                '}' | ']' => depth -= 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    // A stray closer (more `}`/`]` than openers) can never
+                    // become well-formed again — reject immediately rather
+                    // than letting the value round-trip corrupted.
+                    if depth < 0 {
+                        return None;
+                    }
+                }
                 ',' if depth == 0 => {
                     end = i;
                     break;
@@ -160,6 +171,17 @@ mod tests {
         assert!(split_top_level("not json").is_none());
         assert!(split_top_level(r#"{"a": {"#).is_none());
         assert!(split_top_level(r#"{"a": "unterminated}"#).is_none());
+    }
+
+    #[test]
+    fn split_rejects_stray_closing_brackets() {
+        // Negative depth used to be accepted: the stray `]` cancelled the
+        // final `}` and the corrupted value round-tripped silently.
+        assert!(split_top_level(r#"{"a": 1]}"#).is_none());
+        assert!(split_top_level(r#"{"a": [1]], "b": 2}"#).is_none());
+        assert!(split_top_level(r#"{"a": }}"#).is_none());
+        // Brackets inside strings still don't count.
+        assert!(split_top_level(r#"{"a": "]"}"#).is_some());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! `info` lists algorithms, datasets and configurations.
 
 use droplet::experiments::ExperimentCtx;
+use droplet::obs::ObsConfig;
 use droplet::report::Table;
 use droplet::{run_workload, PrefetcherKind, RunResult, WorkloadSpec};
 use droplet_gap::Algorithm;
@@ -22,9 +23,12 @@ fn usage() -> ! {
         "usage:\n  droplet-sim run   --algo <bc|bfs|pr|sssp|cc> --dataset <kron|urand|orkut|livejournal|road>\n\
          \x20                   [--prefetcher <none|ghb|vldp|stream|streammpp1|droplet|mono|adaptive>]\n\
          \x20                   [--scale <tiny|small|sim>] [--budget <ops>] [--threads <n>]\n\
+         \x20                   [--obs <journal.jsonl>] [--epoch-ops <n>]\n\
          \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>] [--threads <n>]\n\
          \x20 droplet-sim info\n\
-         \x20 --threads overrides DROPLET_THREADS (default: all cores; 1 = fully serial)"
+         \x20 --threads overrides DROPLET_THREADS (default: all cores; 1 = fully serial)\n\
+         \x20 --obs enables epoch sampling and writes the JSONL run journal there\n\
+         \x20 --epoch-ops sets retired ops per epoch (default 10000; implies sampling was wanted)"
     );
     std::process::exit(2);
 }
@@ -83,6 +87,8 @@ struct Args {
     scale: Option<DatasetScale>,
     budget: Option<u64>,
     threads: Option<usize>,
+    obs_path: Option<String>,
+    epoch_ops: Option<u64>,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -97,6 +103,8 @@ fn parse_flags(rest: &[String]) -> Args {
             "--scale" => args.scale = Some(parse_scale(value)),
             "--budget" => args.budget = Some(value.parse().unwrap_or_else(|_| usage())),
             "--threads" => args.threads = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--obs" => args.obs_path = Some(value.clone()),
+            "--epoch-ops" => args.epoch_ops = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -152,6 +160,35 @@ fn report(label: &str, r: &RunResult) {
             }
         );
     }
+    if r.warmup_clamped {
+        println!(
+            "NOTE: warm-up clamped {} -> {} ops (half-warm run)",
+            r.warmup_ops_requested, r.warmup_ops_applied
+        );
+    }
+    println!("manifest             {}", r.manifest.render_json());
+}
+
+/// Writes the run journal as JSONL: a `{"manifest": …}` line (enriched
+/// with the workload label and thread count the library can't know), then
+/// one line per epoch.
+fn write_journal(path: &str, r: &RunResult, workload: &str, threads: usize) {
+    let Some(journal) = &r.journal else {
+        eprintln!("no journal recorded (sampling was not enabled)");
+        return;
+    };
+    let mut manifest = r.manifest.clone();
+    manifest.workload = Some(workload.to_string());
+    manifest.threads = Some(threads);
+    let text = format!(
+        "{{\"manifest\": {}}}\n{}",
+        manifest.render_json(),
+        journal.to_jsonl()
+    );
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("journal: {} epochs -> {path}", journal.epoch_count()),
+        Err(e) => eprintln!("cannot write journal {path}: {e}"),
+    }
 }
 
 fn cmd_info() {
@@ -191,6 +228,9 @@ fn main() {
             if let Some(n) = args.threads {
                 ctx = ctx.with_threads(n);
             }
+            if args.obs_path.is_some() || args.epoch_ops.is_some() {
+                ctx.base.obs = Some(ObsConfig::every(args.epoch_ops.unwrap_or(10_000)));
+            }
             let spec = WorkloadSpec {
                 algorithm: algo,
                 dataset,
@@ -208,13 +248,22 @@ fn main() {
                 let kind = args.prefetcher.unwrap_or(PrefetcherKind::Droplet);
                 let base = run_workload(&bundle, &ctx.base, ctx.warmup);
                 report("baseline (no prefetch)", &base);
-                if kind != PrefetcherKind::None {
+                let main_run = if kind != PrefetcherKind::None {
                     let r = run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup);
                     report(kind.name(), &r);
                     println!(
                         "\nspeedup over baseline: {:.2}x",
                         base.core.cycles as f64 / r.core.cycles.max(1) as f64
                     );
+                    Some(r)
+                } else {
+                    None
+                };
+                if let Some(path) = &args.obs_path {
+                    // Journal the configuration under test (the baseline
+                    // when `--prefetcher none` made it the only run).
+                    let r = main_run.as_ref().unwrap_or(&base);
+                    write_journal(path, r, &spec.label(), ctx.pool.threads());
                 }
             } else {
                 let base = run_workload(&bundle, &ctx.base, ctx.warmup);

@@ -4,6 +4,7 @@
 use droplet_cache::CacheConfig;
 use droplet_cpu::CoreConfig;
 use droplet_mem::DramConfig;
+use droplet_obs::ObsConfig;
 use droplet_prefetch::{GhbConfig, MppConfig, StreamConfig, VldpConfig};
 
 /// The prefetcher configuration under evaluation (paper Section VII-A).
@@ -135,6 +136,10 @@ pub struct SystemConfig {
     /// Probing-epoch length (in demand L1 misses) for the adaptive
     /// DROPLET extension.
     pub adaptive_epoch_misses: u64,
+    /// Epoch-sampling observability (`None` = off, the default). Purely a
+    /// measurement option: it never changes simulated behavior, and it is
+    /// excluded from the manifest's config hash.
+    pub obs: Option<ObsConfig>,
 }
 
 impl SystemConfig {
@@ -156,6 +161,7 @@ impl SystemConfig {
             mrb_entries: 256,
             mshrs: 10,
             adaptive_epoch_misses: 50_000,
+            obs: None,
         }
     }
 
@@ -190,6 +196,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_l2(mut self, l2: Option<CacheConfig>) -> Self {
         self.l2 = l2;
+        self
+    }
+
+    /// Enables epoch-sampling observability with the given configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
         self
     }
 

@@ -5,7 +5,7 @@
 use crate::config::PrefetcherKind;
 use crate::datasets::WorkloadSpec;
 use crate::experiments::ExperimentCtx;
-use crate::report::{geomean, pct, Table};
+use crate::report::{geomean, kv_footer, pct, Table};
 use crate::system::{run_workload, RunResult};
 use droplet_gap::Algorithm;
 use droplet_trace::DataType;
@@ -43,6 +43,10 @@ pub struct PrefetchStudy {
     pub rows: Vec<StudyRow>,
     /// The configurations evaluated, in order.
     pub kinds: Vec<PrefetcherKind>,
+    /// One-line reproducibility manifest (scale, budget, warm-up, thread
+    /// count, cell count, wall time); appended to every rendered figure.
+    /// Wall time makes this non-deterministic — compare rows, not this.
+    pub manifest: String,
 }
 
 fn row_from(
@@ -77,6 +81,7 @@ fn row_from(
 /// come back in submission order, making the output identical to a serial
 /// run (`DROPLET_THREADS=1` forces the serial path for debugging).
 pub fn run_study(ctx: &ExperimentCtx, kinds: &[PrefetcherKind]) -> PrefetchStudy {
+    let wall = std::time::Instant::now();
     let specs = WorkloadSpec::matrix(ctx.scale);
 
     // Phase 1 — warm the shared trace cache, one parallel build per unique
@@ -122,14 +127,41 @@ pub fn run_study(ctx: &ExperimentCtx, kinds: &[PrefetcherKind]) -> PrefetchStudy
             rows.push(row_from(r, spec, kind, base_cycles));
         }
     }
+    let manifest = kv_footer(
+        "study manifest",
+        &[
+            ("scale", format!("{:?}", ctx.scale)),
+            ("budget", ctx.budget.to_string()),
+            ("warmup", ctx.warmup.to_string()),
+            ("threads", ctx.pool.threads().to_string()),
+            ("workloads", specs.len().to_string()),
+            ("configs", kinds.len().to_string()),
+            ("cells", cells.len().to_string()),
+            (
+                "wall_ms",
+                format!("{:.0}", wall.elapsed().as_secs_f64() * 1000.0),
+            ),
+        ],
+    );
     PrefetchStudy {
         baselines,
         rows,
         kinds: kinds.to_vec(),
+        manifest,
     }
 }
 
 impl PrefetchStudy {
+    /// The manifest as a render suffix ("" when no manifest was recorded,
+    /// e.g. for hand-assembled studies in tests).
+    fn footer(&self) -> String {
+        if self.manifest.is_empty() {
+            String::new()
+        } else {
+            format!("{}\n", self.manifest)
+        }
+    }
+
     /// Geomean speedup of `kind` across the datasets of `algorithm`
     /// (one cell of Fig. 11b).
     pub fn geomean_speedup(&self, algorithm: Algorithm, kind: PrefetcherKind) -> f64 {
@@ -205,9 +237,10 @@ impl PrefetchStudy {
             "Fig. 11a — speedup over the no-prefetch baseline\n{}\n\
              Fig. 11b — geomean speedup per algorithm\n{}\n\
              paper: DROPLET best for CC (+102%), PR (+30%), BC (+19%), SSSP (+32%);\n\
-             streamMPP1 best for BFS (+36%) and the road dataset.\n",
+             streamMPP1 best for BFS (+36%) and the road dataset.\n{}",
             t.render(),
-            summary.render()
+            summary.render(),
+            self.footer()
         )
     }
 
@@ -232,8 +265,9 @@ impl PrefetchStudy {
         format!(
             "Fig. 12 — L2 cache hit rate\n{}\n\
              paper: DROPLET lifts the under-utilized L2 to 62/76/14/38/50%\n\
-             for CC/PR/BC/BFS/SSSP.\n",
-            t.render()
+             for CC/PR/BC/BFS/SSSP.\n{}",
+            t.render(),
+            self.footer()
         )
     }
 
@@ -269,8 +303,9 @@ impl PrefetchStudy {
         format!(
             "Fig. 13 — off-chip demand MPKI by data type\n{}\n\
              paper: stream cuts structure MPKI; the MPP cuts property MPKI;\n\
-             DROPLET's structure-only streamer cuts both further.\n",
-            t.render()
+             DROPLET's structure-only streamer cuts both further.\n{}",
+            t.render(),
+            self.footer()
         )
     }
 
@@ -300,8 +335,9 @@ impl PrefetchStudy {
             "Fig. 14 — prefetch accuracy\n{}\n\
              paper: DROPLET structure accuracy 100/95/53/66/64% and property\n\
              accuracy 94/95/46/47/70% for CC/PR/BC/BFS/SSSP; sequential-order\n\
-             algorithms (CC, PR) are the most accurate.\n",
-            t.render()
+             algorithms (CC, PR) are the most accurate.\n{}",
+            t.render(),
+            self.footer()
         )
     }
 
@@ -335,8 +371,9 @@ impl PrefetchStudy {
         format!(
             "Fig. 15 — extra bandwidth consumption (BPKI)\n{}\n\
              paper: DROPLET costs +6.5/7/11.3/19.9/15.1% extra bandwidth for\n\
-             CC/PR/BC/BFS/SSSP; CC and PR are cheapest thanks to accuracy.\n",
-            t.render()
+             CC/PR/BC/BFS/SSSP; CC and PR are cheapest thanks to accuracy.\n{}",
+            t.render(),
+            self.footer()
         )
     }
 }
@@ -369,6 +406,7 @@ mod tests {
             baselines,
             rows,
             kinds: kinds.to_vec(),
+            manifest: String::new(),
         }
     }
 

@@ -51,5 +51,6 @@ pub use droplet_cpu as cpu;
 pub use droplet_gap as gap;
 pub use droplet_graph as graph;
 pub use droplet_mem as mem;
+pub use droplet_obs as obs;
 pub use droplet_prefetch as prefetch;
 pub use droplet_trace as trace;

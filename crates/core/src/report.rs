@@ -79,6 +79,17 @@ impl Table {
     }
 }
 
+/// Renders a one-line `key=value` reproducibility footer
+/// (`study manifest: scale=Small threads=8 …`).
+pub fn kv_footer(title: &str, pairs: &[(&str, String)]) -> String {
+    let body = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!("{title}: {body}")
+}
+
 /// Formats a ratio as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
@@ -126,6 +137,10 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.1234), "12.3%");
         assert_eq!(speedup(1.5), "1.50x");
+        assert_eq!(
+            kv_footer("m", &[("a", "1".into()), ("b", "x".into())]),
+            "m: a=1 b=x"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use droplet_cache::{CacheStats, FillInfo, SetAssocCache, TypedCounter};
 use droplet_cpu::{AccessResponse, CoreResult, CoreSim, MemorySystem, MshrFile, ServiceLevel};
 use droplet_gap::TraceBundle;
 use droplet_mem::{Dram, DramStats, Mrb, MrbEntry};
+use droplet_obs::{fnv1a, ObsRecorder, ObsSnapshot, RunJournal, RunManifest};
 use droplet_prefetch::{
     AccessEvent, EventKind, GhbPrefetcher, Mpp, MppCandidate, MppStats, PrefetchRequest,
     Prefetcher, StreamPrefetcher, VldpPrefetcher,
@@ -87,6 +88,13 @@ pub struct System<'a> {
     promote_budget: Cycle,
     /// Probing controller for the adaptive DROPLET extension.
     adaptive: Option<AdaptiveState>,
+    /// Epoch sampler, present only when `cfg.obs` is set. Boxed so the
+    /// disabled case costs one pointer in the `System` and a single
+    /// `is_some` branch per demand access.
+    obs: Option<Box<ObsRecorder>>,
+    /// Retire-clock cycle at which the measurement window opened (0 until
+    /// `warmup_done` runs).
+    warmup_boundary: Cycle,
 }
 
 /// Epoch-probing state for adaptive DROPLET (Section VII-B extension):
@@ -159,6 +167,7 @@ impl<'a> System<'a> {
                 phase: 0,
                 probe_data_aware_avg: 0.0,
             });
+        let obs = cfg.obs.map(|c| Box::new(ObsRecorder::new(c)));
         System {
             dtlb: Tlb::new(cfg.dtlb_entries),
             l1: SetAssocCache::new(cfg.l1.clone()),
@@ -178,6 +187,8 @@ impl<'a> System<'a> {
             mshr: MshrFile::new(cfg_mshrs),
             same_page: None,
             adaptive: adaptive_state,
+            obs,
+            warmup_boundary: 0,
         }
     }
 
@@ -469,7 +480,52 @@ fn demand_promotion_budget(cfg: &SystemConfig) -> Cycle {
 }
 
 impl MemorySystem for System<'_> {
-    fn access(&mut self, op: &MemOp, _id: OpId, now: Cycle) -> AccessResponse {
+    fn access(&mut self, op: &MemOp, id: OpId, now: Cycle) -> AccessResponse {
+        let response = self.access_inner(op, id, now);
+        // Zero-overhead gate: with observability off this is one always-
+        // not-taken branch; on, the sampler only *reads* statistics, so
+        // simulated timing is identical either way.
+        if self.obs.is_some() {
+            self.obs_op(op, now);
+        }
+        response
+    }
+
+    fn warmup_done(&mut self, now: Cycle) {
+        self.l1.reset_stats();
+        if let Some(l2) = self.l2.as_mut() {
+            l2.reset_stats();
+        }
+        self.l3.reset_stats();
+        self.dram.reset_stats();
+        if let Some(mpp) = self.mpp.as_mut() {
+            mpp.reset_stats();
+        }
+        let locked = self.stats.adaptive_locked_data_aware;
+        self.stats = SystemStats::default();
+        self.stats.adaptive_locked_data_aware = locked;
+        // In-flight prefetch tracking persists across the warm-up boundary:
+        // lines prefetched late in warm-up and used in the window count.
+
+        // `now` is the retire clock at the boundary — the same clock
+        // `CoreResult::cycles` is measured on — recorded so utilization
+        // windows line up with the core's measurement window.
+        self.warmup_boundary = now;
+        if self.obs.is_some() {
+            // Anchor the sampler at the just-reset statistics; the MRB's
+            // lifetime counters are the only non-zero baseline values.
+            let baseline = self.obs_snapshot(now);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.reset(baseline);
+            }
+        }
+    }
+}
+
+impl System<'_> {
+    /// The demand-path body of [`MemorySystem::access`]; split out so the
+    /// sampling hook in the trait method stays off the fast path.
+    fn access_inner(&mut self, op: &MemOp, _id: OpId, now: Cycle) -> AccessResponse {
         self.drain_mrb(now);
 
         let vaddr = op.addr();
@@ -653,21 +709,53 @@ impl MemorySystem for System<'_> {
         response
     }
 
-    fn warmup_done(&mut self, _now: Cycle) {
-        self.l1.reset_stats();
-        if let Some(l2) = self.l2.as_mut() {
-            l2.reset_stats();
+    /// Counts one retired demand op for the sampler and snapshots the
+    /// system at epoch boundaries. Out-of-line so the `access` fast path
+    /// pays only the `is_some` branch when sampling is off.
+    #[inline(never)]
+    fn obs_op(&mut self, op: &MemOp, now: Cycle) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        if obs.on_op(1 + u64::from(op.pre_compute())) {
+            obs.record(self.obs_snapshot(now));
         }
-        self.l3.reset_stats();
-        self.dram.reset_stats();
-        if let Some(mpp) = self.mpp.as_mut() {
-            mpp.reset_stats();
+        self.obs = Some(obs);
+    }
+
+    /// A read-only snapshot of every statistics block. Nothing simulated is
+    /// touched here — which is why digests match with sampling on and off.
+    fn obs_snapshot(&self, cycle: Cycle) -> ObsSnapshot {
+        let (mrb_inserted, mrb_overflowed) = self.mrb.stats();
+        ObsSnapshot {
+            ops: 0,
+            instructions: 0,
+            cycle,
+            l1: *self.l1.stats(),
+            l2: self.l2.as_ref().map(|c| *c.stats()),
+            l3: *self.l3.stats(),
+            dram: *self.dram.stats(),
+            mrb_len: self.mrb.len() as u64,
+            mrb_inserted,
+            mrb_overflowed,
+            mpp: self.mpp.as_ref().map(|m| *m.stats()),
+            prefetch_useful: self.stats.prefetch_useful,
+            prefetch_wasted: self.stats.prefetch_wasted,
+            writebacks: self.stats.writebacks,
         }
-        let locked = self.stats.adaptive_locked_data_aware;
-        self.stats = SystemStats::default();
-        self.stats.adaptive_locked_data_aware = locked;
-        // In-flight prefetch tracking persists across the warm-up boundary:
-        // lines prefetched late in warm-up and used in the window count.
+    }
+
+    /// Retire-clock cycle at which the measurement window opened.
+    pub fn warmup_boundary(&self) -> Cycle {
+        self.warmup_boundary
+    }
+
+    /// Closes the sampler at the end-of-run retire cycle and takes the run
+    /// journal; `None` when observability is off.
+    pub fn take_journal(&mut self, end_cycle: Cycle) -> Option<RunJournal> {
+        let mut obs = self.obs.take()?;
+        obs.flush_final(self.obs_snapshot(end_cycle));
+        Some(obs.into_journal())
     }
 }
 
@@ -690,6 +778,22 @@ pub struct RunResult {
     pub sys: SystemStats,
     /// Whether prefetches land in the L1 (monolithic variant).
     pub prefetch_home_is_l1: bool,
+    /// Retire-clock cycle at which the measurement window opened (so the
+    /// window is `[warmup_boundary_cycle, warmup_boundary_cycle +
+    /// core.cycles)`).
+    pub warmup_boundary_cycle: Cycle,
+    /// Warm-up ops the caller requested.
+    pub warmup_ops_requested: u64,
+    /// Warm-up ops actually applied after the half-trace clamp. When this
+    /// differs from the request the run is *half-warm* — check
+    /// [`RunResult::warmup_clamped`] before quoting its numbers.
+    pub warmup_ops_applied: u64,
+    /// Whether the half-trace clamp shortened the requested warm-up.
+    pub warmup_clamped: bool,
+    /// Reproducibility manifest (config hash, warm-up clamp, wall time…).
+    pub manifest: RunManifest,
+    /// Epoch journal, present when the configuration enabled sampling.
+    pub journal: Option<RunJournal>,
 }
 
 impl RunResult {
@@ -717,9 +821,18 @@ impl RunResult {
         self.dram.bpki(self.core.instructions)
     }
 
-    /// DRAM bandwidth utilization over the window (Fig. 3a).
+    /// DRAM bandwidth utilization over the measurement window (Fig. 3a).
+    ///
+    /// Windowed on the retire clock from the warm-up boundary to the end
+    /// of the run, then clipped by [`DramStats::window_utilization`] to
+    /// when DRAM was actually active: a post-warm-up hit run before the
+    /// first burst (`first_request_at`) is cache behavior, not idle DRAM
+    /// bandwidth, and bursts draining past the last retire still count.
     pub fn bandwidth_utilization(&self) -> f64 {
-        self.dram.utilization(self.core.cycles.max(1))
+        self.dram.window_utilization(
+            self.warmup_boundary_cycle,
+            self.warmup_boundary_cycle + self.core.cycles,
+        )
     }
 
     /// Fraction of `dtype` demand references serviced by DRAM (Fig. 4c).
@@ -760,19 +873,51 @@ impl RunResult {
     }
 }
 
+/// FNV-1a hash over the *simulated* machine: the configuration with the
+/// observability option cleared, so sampled and unsampled runs of the same
+/// machine share a hash.
+fn config_hash(cfg: &SystemConfig) -> u64 {
+    let mut machine = cfg.clone();
+    machine.obs = None;
+    fnv1a(format!("{machine:?}").as_bytes())
+}
+
 /// Replays `bundle` against a system configured by `cfg`, with the first
 /// `warmup_ops` operations excluded from statistics.
+///
+/// A warm-up longer than the trace is clamped so the measurement window
+/// still covers at least half of it; the clamp is surfaced in
+/// [`RunResult::warmup_clamped`] and the manifest rather than applied
+/// silently.
 ///
 /// # Example
 ///
 /// See the crate-level example.
 pub fn run_workload(bundle: &TraceBundle, cfg: &SystemConfig, warmup_ops: usize) -> RunResult {
+    let wall = std::time::Instant::now();
     let core = CoreSim::new(cfg.core);
     let mut system = System::new(cfg.clone(), bundle);
-    // Clamp so a warm-up longer than the trace still leaves a measurement
-    // window covering at least half of it.
-    let warmup_ops = warmup_ops.min(bundle.ops.len() / 2);
-    let core_result = core.run(&bundle.ops, &mut system, warmup_ops);
+    let applied = warmup_ops.min(bundle.ops.len() / 2);
+    let core_result = core.run(&bundle.ops, &mut system, applied);
+    let boundary = system.warmup_boundary();
+    let journal = system.take_journal(boundary + core_result.cycles);
+    let manifest = RunManifest {
+        config_hash: config_hash(cfg),
+        prefetcher: cfg.prefetcher.name().to_string(),
+        workload: None,
+        trace_ops: bundle.ops.len() as u64,
+        warmup_requested: warmup_ops as u64,
+        warmup_applied: applied as u64,
+        warmup_clamped: applied != warmup_ops,
+        warmup_boundary_cycle: boundary,
+        threads: None,
+        seed: std::env::var("DROPLET_TEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok()),
+        epoch_ops: cfg.obs.map(|o| o.epoch_ops),
+        epochs: journal.as_ref().map(|j| j.epoch_count() as u64),
+        wall_ms: wall.elapsed().as_secs_f64() * 1000.0,
+    };
     RunResult {
         core: core_result,
         l1: *system.l1.stats(),
@@ -782,6 +927,12 @@ pub fn run_workload(bundle: &TraceBundle, cfg: &SystemConfig, warmup_ops: usize)
         mpp: system.mpp.as_ref().map(|m| *m.stats()),
         sys: system.stats,
         prefetch_home_is_l1: cfg.prefetcher.monolithic_l1(),
+        warmup_boundary_cycle: boundary,
+        warmup_ops_requested: warmup_ops as u64,
+        warmup_ops_applied: applied as u64,
+        warmup_clamped: applied != warmup_ops,
+        manifest,
+        journal,
     }
 }
 

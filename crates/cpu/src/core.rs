@@ -244,7 +244,11 @@ impl CoreSim {
                 measuring = true;
                 window_start_cycle = div_w(ret_units);
                 window_start_ii = ii;
-                mem.warmup_done(div_w(disp_units));
+                // The boundary passed down is the retire clock — the same
+                // clock `window_start_cycle` (and thus `CoreResult::cycles`)
+                // is measured on, so memory-side utilization windows line up
+                // with the core's measurement window.
+                mem.warmup_done(window_start_cycle);
             }
 
             let block = 1 + u64::from(op.pre_compute());

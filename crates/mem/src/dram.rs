@@ -43,7 +43,7 @@ pub struct DramResponse {
 }
 
 /// Aggregate DRAM statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Demand read/write-back bursts.
     pub demand_accesses: u64,
@@ -53,7 +53,8 @@ pub struct DramStats {
     pub bus_busy_cycles: u64,
     /// Total queue-delay cycles across requests.
     pub queue_delay_cycles: u64,
-    /// First request's start cycle (for utilization windows).
+    /// First request's start cycle — [`DramStats::window_utilization`]
+    /// starts its window here when the bus sat idle at the window open.
     pub first_request_at: Option<Cycle>,
     /// Latest completion cycle seen.
     pub last_complete_at: Cycle,
@@ -81,6 +82,25 @@ impl DramStats {
         } else {
             (self.bus_busy_cycles as f64 / elapsed as f64).min(1.0)
         }
+    }
+
+    /// Bandwidth utilization over the window `[window_start, window_end)`,
+    /// clipped to when DRAM was actually active:
+    ///
+    /// - the window *starts* at `first_request_at` when that is later than
+    ///   `window_start` (a post-warm-up hit run before the first burst is
+    ///   cache behavior, not idle DRAM bandwidth), and
+    /// - the window *ends* at `last_complete_at` when bursts drained past
+    ///   `window_end` (the retire clock can stop before the bus does).
+    ///
+    /// With no requests in the window the utilization is 0.
+    pub fn window_utilization(&self, window_start: Cycle, window_end: Cycle) -> f64 {
+        let Some(first) = self.first_request_at else {
+            return 0.0;
+        };
+        let start = first.max(window_start);
+        let end = window_end.max(self.last_complete_at).max(start + 1);
+        (self.bus_busy_cycles as f64 / (end - start) as f64).min(1.0)
     }
 
     /// Mean queue delay per access.
@@ -281,6 +301,22 @@ mod tests {
             "prefetch queue delay {}",
             p.queue_delay
         );
+    }
+
+    #[test]
+    fn window_utilization_clips_to_active_span() {
+        let mut d = small();
+        // One burst starting at cycle 1000: busy 10 bus cycles, done at 1110.
+        d.request(0, 1000, false);
+        let s = *d.stats();
+        // Idle lead-in removed: window opened at 0 but DRAM woke at 1000.
+        assert!((s.window_utilization(0, 1110) - 10.0 / 110.0).abs() < 1e-12);
+        // Window fully inside the active span: plain elapsed-time division.
+        assert!((s.window_utilization(1000, 1110) - 10.0 / 110.0).abs() < 1e-12);
+        // Retire clock stopped early: extend to last completion.
+        assert!((s.window_utilization(1000, 1050) - 10.0 / 110.0).abs() < 1e-12);
+        // No requests at all → 0, never NaN.
+        assert_eq!(DramStats::default().window_utilization(0, 0), 0.0);
     }
 
     #[test]

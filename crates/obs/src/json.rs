@@ -1,0 +1,63 @@
+//! Minimal JSON rendering for journals and manifests.
+//!
+//! The workspace vendors no JSON library; the bench harness
+//! (`droplet-bench::bench_json`) established the house style — hand-rendered
+//! objects with string-aware escaping — and this module is the same writer
+//! made available below the `droplet` crate so the simulator itself can emit
+//! journals. Only rendering lives here; parsing (needed by
+//! `droplet-bench-diff` only) stays in the bench crate.
+
+/// Renders a JSON string literal (enough escaping for labels and paths).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an object from key/value pairs whose values are already JSON.
+pub fn object(pairs: &[(String, String)]) -> String {
+    let body = pairs
+        .iter()
+        .map(|(k, v)| format!("{}: {v}", quote(k)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+/// Renders an `f64` as a JSON number: finite values with six decimals,
+/// non-finite values (which JSON cannot represent) as `0.0`.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_quote_render() {
+        let o = object(&[("a".into(), "1".into()), ("b\"c".into(), quote("v\n"))]);
+        assert_eq!(o, r#"{"a": 1, "b\"c": "v\n"}"#);
+    }
+
+    #[test]
+    fn num_handles_non_finite() {
+        assert_eq!(num(1.5), "1.500000");
+        assert_eq!(num(f64::NAN), "0.0");
+        assert_eq!(num(f64::INFINITY), "0.0");
+    }
+}

@@ -73,7 +73,7 @@ pub struct MppCandidate {
 }
 
 /// MPP occupancy and drop statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MppStats {
     /// Structure cachelines scanned by the PAG.
     pub lines_scanned: u64,
