@@ -1,0 +1,81 @@
+//! Sweep wall-clock gate for forked simulation: times the full Fig. 11
+//! prefetcher study (25 workloads × 7 configurations) twice over a warm
+//! trace cache — once with per-cell full replay (`--no-fork` semantics)
+//! and once with shared warm-up forking — and exports both walls plus
+//! their ratio to `BENCH_engine.json` (section `"study_wall_ms"`).
+//!
+//! The `*_ms` leaves gate higher-worse and `fork_speedup` gates
+//! lower-worse in `droplet-bench-diff`, so both an absolute slowdown and
+//! a regression of the fork win itself fail the CI perf gate.
+//!
+//! Run with: `cargo bench -p droplet-bench --bench study_wall`
+//! (tiny scale, so the gate run finishes in seconds-to-minutes; results
+//! are bit-identical between the two timed passes, which is separately
+//! enforced by `tests/fork_determinism.rs` and the conformance suite).
+
+use droplet::datasets::WorkloadSpec;
+use droplet::experiments::prefetch_study::run_study;
+use droplet::experiments::ExperimentCtx;
+use droplet::PrefetcherKind;
+use droplet_bench::bench_json;
+use std::time::Instant;
+
+fn main() {
+    let ctx = ExperimentCtx::tiny();
+    println!(
+        "study_wall: scale={:?} budget={} warmup={} threads={}",
+        ctx.scale,
+        ctx.budget,
+        ctx.warmup,
+        ctx.pool.threads()
+    );
+
+    // Warm the shared trace cache so both timed passes measure pure
+    // simulation, not graph/trace construction.
+    let specs = WorkloadSpec::matrix(ctx.scale);
+    let build = Instant::now();
+    let ctx_ref = &ctx;
+    ctx.pool.run(
+        specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    ctx_ref.trace(spec);
+                }
+            })
+            .collect(),
+    );
+    println!(
+        "traces: {} bundles built in {} ms",
+        specs.len(),
+        build.elapsed().as_millis()
+    );
+
+    let time_study = |fork: bool| {
+        let ctx = ctx.clone().with_fork_sweeps(fork);
+        let t = Instant::now();
+        let study = run_study(&ctx, &PrefetcherKind::EVALUATED);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("fork={fork}: {} rows in {ms:.0} ms", study.rows.len());
+        ms
+    };
+
+    let full_ms = time_study(false);
+    let forked_ms = time_study(true);
+
+    let section = bench_json::object(&[
+        ("scale".into(), bench_json::quote("tiny")),
+        ("budget".into(), ctx.budget.to_string()),
+        ("warmup".into(), ctx.warmup.to_string()),
+        ("threads".into(), ctx.pool.threads().to_string()),
+        ("full_replay_ms".into(), format!("{full_ms:.0}")),
+        ("forked_ms".into(), format!("{forked_ms:.0}")),
+        (
+            "fork_speedup".into(),
+            format!("{:.3}", full_ms / forked_ms.max(1e-9)),
+        ),
+    ]);
+    let path = bench_json::default_report_path();
+    bench_json::write_section(&path, "study_wall_ms", &section).expect("write BENCH_engine.json");
+    println!("wrote section \"study_wall_ms\" to {}", path.display());
+}

@@ -8,8 +8,9 @@
 //! baseline.us_per_iter`) and the two files are compared leaf by leaf.
 //!
 //! Gating: leaves whose last path segment names a cost (`us_per_iter`,
-//! `*_us`, `*_ms`, `*_cycles`) regress when they *rise*; throughput leaves
-//! (`ops_per_sec`, `*_per_sec`) regress when they *fall*. Any gated leaf
+//! `*_us`, `*_ms`, `*_cycles`) regress when they *rise*; throughput and
+//! gain leaves (`ops_per_sec`, `*_per_sec`, `*_speedup`) regress when they
+//! *fall*. Any gated leaf
 //! moving past `--threshold` percent (default 15) in the bad direction
 //! fails the run with exit code 1 — this is the CI bench gate. Other
 //! leaves are printed for context but never gate.
@@ -120,7 +121,7 @@ fn gate_direction(path: &str) -> Option<bool> {
         || leaf.ends_with("_cycles")
     {
         Some(true)
-    } else if leaf == "ops_per_sec" || leaf.ends_with("_per_sec") {
+    } else if leaf == "ops_per_sec" || leaf.ends_with("_per_sec") || leaf.ends_with("_speedup") {
         Some(false)
     } else {
         None

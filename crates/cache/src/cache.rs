@@ -315,15 +315,20 @@ impl SetAssocCache {
         let mut invalid_idx = None;
         let mut lru_idx = 0;
         let mut lru_stamp = u64::MAX;
+        // Pre-slice the set's tags and stamps: the compiler then knows both
+        // loops below are in bounds (`assoc` == slice length), dropping the
+        // per-way bounds checks from the hottest loop in the simulator.
+        let set_tags = &self.tags[range.clone()];
+        let set_stamps = &mut self.stamps[range.clone()];
         for i in 0..self.assoc {
-            let t = self.tags[range.start + i];
+            let t = set_tags[i];
             if t == TAG_INVALID {
                 invalid_idx.get_or_insert(i);
                 continue;
             }
             if t == line {
                 if self.mutation != CacheMutation::StaleRefresh {
-                    self.stamps[range.start + i] = stamp;
+                    set_stamps[i] = stamp;
                 }
                 let w = &mut self.meta[range.start + i];
                 w.ready_at = w.ready_at.min(info.ready_at);
@@ -342,7 +347,7 @@ impl SetAssocCache {
                 }
                 return None;
             }
-            let s = self.stamps[range.start + i];
+            let s = set_stamps[i];
             if s < lru_stamp {
                 lru_stamp = s;
                 lru_idx = i;

@@ -1,0 +1,107 @@
+//! Fork-vs-replay lockstep harness: proves a forked simulation is
+//! *op-by-op* indistinguishable from a from-scratch run, not just
+//! end-of-run digest-equal.
+//!
+//! The production side resumes a [`WarmupSnapshot`]; the reference side
+//! re-simulates the same warm-up prefix from a cold machine on every
+//! `reset`. Both then replay the same measurement stream one op at a time,
+//! and the differ compares a cheap per-op fingerprint — the core engine's
+//! clocks plus a [`SystemProbe`] of the memory system. Any field the
+//! snapshot failed to capture shows up as a divergence within a few ops of
+//! first touching the stale structure, and the ddmin shrinker reduces the
+//! stream to a minimal repro (see the `ForkMutation` self-tests).
+
+use crate::diff::Harness;
+use droplet::{warm_snapshot, ForkMutation, System, SystemConfig, SystemProbe, WarmupSnapshot};
+use droplet_cpu::{CoreEngine, MeasureState};
+use droplet_gap::TraceBundle;
+use droplet_trace::MemOp;
+
+/// One live side of the lockstep: a memory system, the core driving it,
+/// and the open measurement window.
+type Side<'a> = (System<'a>, CoreEngine, MeasureState);
+
+/// Differential harness pairing a forked run (production) with a
+/// from-scratch run (reference) over the same warmed prefix.
+pub struct ForkHarness<'a> {
+    bundle: &'a TraceBundle,
+    cfg: SystemConfig,
+    snap: WarmupSnapshot,
+    mutation: ForkMutation,
+    prod: Option<Side<'a>>,
+    refr: Option<Side<'a>>,
+}
+
+impl<'a> ForkHarness<'a> {
+    /// Warms one snapshot of `bundle` under `cfg` and arms `mutation` on
+    /// the production (forked) side's restore path. Use
+    /// [`ForkMutation::None`] for the conformance run proper.
+    pub fn new(
+        bundle: &'a TraceBundle,
+        cfg: SystemConfig,
+        warmup_ops: usize,
+        mutation: ForkMutation,
+    ) -> Self {
+        let snap = warm_snapshot(bundle, &cfg, warmup_ops);
+        ForkHarness {
+            bundle,
+            cfg,
+            snap,
+            mutation,
+            prod: None,
+            refr: None,
+        }
+    }
+
+    /// Warm-up ops baked into the shared snapshot (post-clamp).
+    pub fn applied(&self) -> usize {
+        self.snap.applied() as usize
+    }
+}
+
+impl Harness for ForkHarness<'_> {
+    type Op = MemOp;
+    /// `(dispatch units, retire units, instructions)` plus the memory-side
+    /// probe: cheap enough to compare on every op, sensitive enough that a
+    /// stale TLB, cache, or DRAM queue surfaces within a few ops.
+    type Obs = ((u64, u64, u64), SystemProbe);
+
+    fn reset(&mut self) {
+        // Production: fork from the shared snapshot (with the armed
+        // restore fault, if any) and open the measurement window.
+        let (mut sys, eng) = self
+            .snap
+            .resume_mutated(&self.cfg, self.bundle, self.mutation);
+        let m = eng.open_window(&mut sys);
+        self.prod = Some((sys, eng, m));
+
+        // Reference: the obviously-correct path — re-simulate the very
+        // same warm-up prefix from a cold machine.
+        let mut rsys = System::new(self.cfg.clone(), self.bundle);
+        let mut reng = CoreEngine::new(self.cfg.core);
+        reng.warmup(&self.bundle.ops[..self.applied()], &mut rsys);
+        let rm = reng.open_window(&mut rsys);
+        self.refr = Some((rsys, reng, rm));
+    }
+
+    fn apply(&mut self, op: &MemOp) -> (Self::Obs, Self::Obs) {
+        fn step(side: &mut Side<'_>, op: &MemOp) -> ((u64, u64, u64), SystemProbe) {
+            let (sys, eng, m) = side;
+            eng.measure_chunk(std::slice::from_ref(op), sys, m);
+            (eng.clocks(), sys.probe())
+        }
+        let got = step(self.prod.as_mut().expect("reset before apply"), op);
+        let want = step(self.refr.as_mut().expect("reset before apply"), op);
+        (got, want)
+    }
+
+    fn dump(&self) -> (String, String) {
+        let render = |side: &Option<Side<'_>>| match side {
+            Some((sys, eng, _)) => {
+                format!("clocks: {:?}\nprobe: {:?}", eng.clocks(), sys.probe())
+            }
+            None => "<unreset>".into(),
+        };
+        (render(&self.prod), render(&self.refr))
+    }
+}

@@ -27,9 +27,11 @@
 //! including ones found under exploratory seeds in CI — replays exactly.
 
 pub mod diff;
+pub mod fork;
 pub mod fuzz;
 pub mod harness;
 pub mod reference;
 
 pub use diff::{fuzz_and_verify, run_lockstep, shrink, Divergence, FuzzReport, Harness};
+pub use fork::ForkHarness;
 pub use fuzz::TraceGen;

@@ -15,7 +15,7 @@ fn lines_per_page() -> u64 {
 
 /// Reference next-N-line: on every L1 miss, the next `degree` sequential
 /// lines, stopping at the page boundary.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RefNextLine {
     degree: u64,
     issued: u64,
@@ -56,6 +56,10 @@ impl Prefetcher for RefNextLine {
     fn issued(&self) -> u64 {
         self.issued
     }
+
+    fn box_clone(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 /// Reference G/DC GHB: the miss history is an unbounded `Vec` (absolute
@@ -65,7 +69,7 @@ impl Prefetcher for RefNextLine {
 /// pair *before* recording the current miss, replay the deltas that followed
 /// it, then point the index at the current occurrence (an existing key keeps
 /// its FIFO position).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RefGhb {
     cfg: GhbConfig,
     /// Full global miss history; `history[pos]` is the line at absolute
@@ -173,6 +177,10 @@ impl Prefetcher for RefGhb {
     fn issued(&self) -> u64 {
         self.issued
     }
+
+    fn box_clone(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 /// One page's delta history in the reference DRB.
@@ -189,7 +197,7 @@ struct RefDrbEntry {
 /// A delta table as an association list. Eviction picks the minimum
 /// `(lru, key)` pair — the explicit deterministic tie-break the production
 /// `HashMap` implementation must honor (the PR 2 canary bug).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RefDeltaTable {
     capacity: usize,
     rows: Vec<(Vec<i64>, i64, u64)>, // (key, next delta, lru)
@@ -235,7 +243,7 @@ impl RefDeltaTable {
 /// new delta trains the OPT (second access only) and every DPT keyed by the
 /// *pre-append* history, then predicts cascaded longest-history-first up to
 /// `degree` steps, each prediction bumping its DPT row's recency.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RefVldp {
     cfg: VldpConfig,
     drb: Vec<RefDrbEntry>,
@@ -380,6 +388,10 @@ impl Prefetcher for RefVldp {
     fn issued(&self) -> u64 {
         self.issued
     }
+
+    fn box_clone(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -408,7 +420,7 @@ struct RefTracker {
 /// any other move re-arms training; emission walks up to `degree` lines
 /// bounded by the distance and the page, clamping a stepped-out head to the
 /// page edge; switching modes clears every tracker.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RefStream {
     cfg: StreamConfig,
     trackers: Vec<RefTracker>,
@@ -553,6 +565,10 @@ impl Prefetcher for RefStream {
 
     fn issued(&self) -> u64 {
         self.issued
+    }
+
+    fn box_clone(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
     }
 
     fn set_data_aware(&mut self, on: bool) {

@@ -13,7 +13,7 @@
 use droplet::experiments::ExperimentCtx;
 use droplet::obs::ObsConfig;
 use droplet::report::Table;
-use droplet::{run_workload, PrefetcherKind, RunResult, WorkloadSpec};
+use droplet::{run_sweep, run_workload, PrefetcherKind, RunResult, SweepCell, WorkloadSpec};
 use droplet_gap::Algorithm;
 use droplet_graph::{Dataset, DatasetScale, DegreeStats};
 use droplet_trace::DataType;
@@ -23,12 +23,15 @@ fn usage() -> ! {
         "usage:\n  droplet-sim run   --algo <bc|bfs|pr|sssp|cc> --dataset <kron|urand|orkut|livejournal|road>\n\
          \x20                   [--prefetcher <none|ghb|vldp|stream|streammpp1|droplet|mono|adaptive>]\n\
          \x20                   [--scale <tiny|small|sim>] [--budget <ops>] [--threads <n>]\n\
-         \x20                   [--obs <journal.jsonl>] [--epoch-ops <n>]\n\
+         \x20                   [--obs <journal.jsonl>] [--epoch-ops <n>] [--fork-sweep|--no-fork]\n\
          \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>] [--threads <n>]\n\
+         \x20                   [--fork-sweep|--no-fork]\n\
          \x20 droplet-sim info\n\
          \x20 --threads overrides DROPLET_THREADS (default: all cores; 1 = fully serial)\n\
          \x20 --obs enables epoch sampling and writes the JSONL run journal there\n\
-         \x20 --epoch-ops sets retired ops per epoch (default 10000; implies sampling was wanted)"
+         \x20 --epoch-ops sets retired ops per epoch (default 10000; implies sampling was wanted)\n\
+         \x20 --fork-sweep/--no-fork: share one warm-up simulation across same-hierarchy configs\n\
+         \x20   (default: on for multi-config invocations; results are bit-identical either way)"
     );
     std::process::exit(2);
 }
@@ -89,12 +92,25 @@ struct Args {
     threads: Option<usize>,
     obs_path: Option<String>,
     epoch_ops: Option<u64>,
+    fork: Option<bool>,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
     let mut args = Args::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
+        // Boolean flags take no value.
+        match flag.as_str() {
+            "--fork-sweep" => {
+                args.fork = Some(true);
+                continue;
+            }
+            "--no-fork" => {
+                args.fork = Some(false);
+                continue;
+            }
+            _ => {}
+        }
         let Some(value) = it.next() else { usage() };
         match flag.as_str() {
             "--algo" => args.algo = Some(parse_algo(value)),
@@ -109,6 +125,22 @@ fn parse_flags(rest: &[String]) -> Args {
         }
     }
     args
+}
+
+/// Prints the shared-warm-up NOTE when any of the runs was forked from a
+/// common warmed snapshot (alongside the warm-up-clamp NOTE in `report`).
+fn report_fork_note(results: &[&RunResult]) {
+    let forked: Vec<_> = results
+        .iter()
+        .filter(|r| r.manifest.forked_from.is_some())
+        .collect();
+    if let Some(first) = forked.first() {
+        println!(
+            "NOTE: forked: shared_warmup_ops={} configs={}",
+            first.manifest.warmup_shared.unwrap_or(0),
+            forked.len()
+        );
+    }
 }
 
 fn report(label: &str, r: &RunResult) {
@@ -228,6 +260,9 @@ fn main() {
             if let Some(n) = args.threads {
                 ctx = ctx.with_threads(n);
             }
+            if let Some(fork) = args.fork {
+                ctx = ctx.with_fork_sweeps(fork);
+            }
             if args.obs_path.is_some() || args.epoch_ops.is_some() {
                 ctx.base.obs = Some(ObsConfig::every(args.epoch_ops.unwrap_or(10_000)));
             }
@@ -246,19 +281,36 @@ fn main() {
             );
             if cmd == "run" {
                 let kind = args.prefetcher.unwrap_or(PrefetcherKind::Droplet);
-                let base = run_workload(&bundle, &ctx.base, ctx.warmup);
+                let (base, main_run) = if kind != PrefetcherKind::None {
+                    // Two configs sharing one hierarchy: share the warm-up.
+                    let cells = vec![
+                        SweepCell {
+                            bundle: std::sync::Arc::clone(&bundle),
+                            cfg: ctx.base.clone(),
+                        },
+                        SweepCell {
+                            bundle: std::sync::Arc::clone(&bundle),
+                            cfg: ctx.base.with_prefetcher(kind),
+                        },
+                    ];
+                    let mut out = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
+                    let r = out.pop().expect("two sweep results");
+                    let base = out.pop().expect("two sweep results");
+                    (base, Some(r))
+                } else {
+                    (run_workload(&bundle, &ctx.base, ctx.warmup), None)
+                };
                 report("baseline (no prefetch)", &base);
-                let main_run = if kind != PrefetcherKind::None {
-                    let r = run_workload(&bundle, &ctx.base.with_prefetcher(kind), ctx.warmup);
-                    report(kind.name(), &r);
+                if let Some(r) = &main_run {
+                    report(kind.name(), r);
                     println!(
                         "\nspeedup over baseline: {:.2}x",
                         base.core.cycles as f64 / r.core.cycles.max(1) as f64
                     );
-                    Some(r)
-                } else {
-                    None
-                };
+                }
+                let mut all: Vec<&RunResult> = vec![&base];
+                all.extend(main_run.as_ref());
+                report_fork_note(&all);
                 if let Some(path) = &args.obs_path {
                     // Journal the configuration under test (the baseline
                     // when `--prefetcher none` made it the only run).
@@ -266,7 +318,6 @@ fn main() {
                     write_journal(path, r, &spec.label(), ctx.pool.threads());
                 }
             } else {
-                let base = run_workload(&bundle, &ctx.base, ctx.warmup);
                 let mut t = Table::new(vec![
                     "config".into(),
                     "speedup".into(),
@@ -276,18 +327,18 @@ fn main() {
                 ]);
                 let mut kinds = PrefetcherKind::EVALUATED.to_vec();
                 kinds.push(PrefetcherKind::AdaptiveDroplet);
-                // The per-prefetcher runs are independent; fan them out.
-                let cfgs: Vec<_> = kinds.iter().map(|&k| ctx.base.with_prefetcher(k)).collect();
-                let warmup = ctx.warmup;
-                let results = ctx.pool.run(
-                    cfgs.iter()
-                        .map(|cfg| {
-                            let bundle = &bundle;
-                            move || run_workload(bundle, cfg, warmup)
-                        })
-                        .collect(),
-                );
-                for (kind, r) in kinds.iter().zip(&results) {
+                // Baseline plus every prefetcher over one shared warm-up.
+                let mut cells = vec![SweepCell {
+                    bundle: std::sync::Arc::clone(&bundle),
+                    cfg: ctx.base.clone(),
+                }];
+                cells.extend(kinds.iter().map(|&k| SweepCell {
+                    bundle: std::sync::Arc::clone(&bundle),
+                    cfg: ctx.base.with_prefetcher(k),
+                }));
+                let all = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
+                let (base, results) = (&all[0], &all[1..]);
+                for (kind, r) in kinds.iter().zip(results) {
                     t.row(vec![
                         kind.name().into(),
                         format!(
@@ -300,6 +351,7 @@ fn main() {
                     ]);
                 }
                 println!("{}", t.render());
+                report_fork_note(&all.iter().collect::<Vec<_>>());
             }
         }
         _ => usage(),

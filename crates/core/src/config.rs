@@ -216,6 +216,48 @@ impl SystemConfig {
         self
     }
 
+    /// A fingerprint of every field that influences simulated state *during
+    /// warm-up* — the partition that decides when two sweep points may
+    /// share one warmed snapshot ([`crate::fork`]).
+    ///
+    /// Under demand-only warm-up, prefetch engines, the MPP, and the
+    /// adaptive controller are inert until `warmup_done`, so the
+    /// **fork-safe** fields — `prefetcher`, `stream`, `ghb`, `vldp`, `mpp`,
+    /// `mrb_entries` (the MRB is only filled by prefetch paths, hence empty
+    /// at the boundary), `adaptive_epoch_misses`, and `obs` (measurement
+    /// only, reset at the boundary) — are excluded. Everything else is
+    /// **warmup-relevant** and hashed.
+    ///
+    /// The exhaustive destructuring below is the compile-time check: adding
+    /// a field to `SystemConfig` breaks this function until the new field is
+    /// explicitly classified into one of the two lists.
+    pub fn warmup_key(&self) -> u64 {
+        let SystemConfig {
+            // Warmup-relevant: shape demand-path state before the boundary.
+            core,
+            l1,
+            l2,
+            l3,
+            dram,
+            dtlb_entries,
+            tlb_walk_latency,
+            mshrs,
+            // Fork-safe: inert until `warmup_done` under demand-only warm-up.
+            prefetcher: _,
+            stream: _,
+            ghb: _,
+            vldp: _,
+            mpp: _,
+            mrb_entries: _,
+            adaptive_epoch_misses: _,
+            obs: _,
+        } = self;
+        let repr = format!(
+            "{core:?}|{l1:?}|{l2:?}|{l3:?}|{dram:?}|{dtlb_entries}|{tlb_walk_latency}|{mshrs}"
+        );
+        droplet_obs::fnv1a(repr.as_bytes())
+    }
+
     /// A hierarchy scaled down ~512× for tests and examples on tiny
     /// datasets: the capacity *ratios* of Table I are preserved (structure
     /// working sets exceed the LLC, property working sets exceed the L2),

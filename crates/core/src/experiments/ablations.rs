@@ -9,10 +9,11 @@
 use crate::config::PrefetcherKind;
 use crate::datasets::WorkloadSpec;
 use crate::experiments::ExperimentCtx;
+use crate::fork::{run_sweep, SweepCell};
 use crate::report::Table;
-use crate::system::run_workload;
 use droplet_gap::Algorithm;
 use droplet_graph::Dataset;
+use std::sync::Arc;
 
 /// One row of the decoupling ablation.
 #[derive(Debug, Clone)]
@@ -105,17 +106,19 @@ pub fn ablation_decoupling(ctx: &ExperimentCtx) -> DecouplingAblation {
         .collect();
     let mut cells = Vec::new();
     for &spec in &specs {
-        cells.push((spec, &ctx.base));
+        let bundle = ctx.trace(&spec);
+        cells.push(SweepCell {
+            bundle: Arc::clone(&bundle),
+            cfg: ctx.base.clone(),
+        });
         for cfg in &kind_cfgs {
-            cells.push((spec, cfg));
+            cells.push(SweepCell {
+                bundle: Arc::clone(&bundle),
+                cfg: cfg.clone(),
+            });
         }
     }
-    let results = ctx.pool.run(
-        cells
-            .iter()
-            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
-            .collect(),
-    );
+    let results = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
 
     let stride = 1 + DECOUPLING_KINDS.len();
     let rows = specs
@@ -217,17 +220,19 @@ pub fn ablation_mpp_sizing(ctx: &ExperimentCtx) -> SizingAblation {
 
     let mut cells = Vec::new();
     for &spec in &specs {
-        cells.push((spec, &ctx.base));
+        let bundle = ctx.trace(&spec);
+        cells.push(SweepCell {
+            bundle: Arc::clone(&bundle),
+            cfg: ctx.base.clone(),
+        });
         for (_, _, cfg) in &sized_cfgs {
-            cells.push((spec, cfg));
+            cells.push(SweepCell {
+                bundle: Arc::clone(&bundle),
+                cfg: cfg.clone(),
+            });
         }
     }
-    let results = ctx.pool.run(
-        cells
-            .iter()
-            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
-            .collect(),
-    );
+    let results = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
 
     let stride = 1 + sized_cfgs.len();
     let mut rows = Vec::new();
@@ -249,6 +254,7 @@ pub fn ablation_mpp_sizing(ctx: &ExperimentCtx) -> SizingAblation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::run_workload;
 
     #[test]
     fn adaptive_locks_and_is_competitive() {

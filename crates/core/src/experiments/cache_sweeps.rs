@@ -2,9 +2,10 @@
 
 use crate::datasets::WorkloadSpec;
 use crate::experiments::ExperimentCtx;
+use crate::fork::{run_sweep, SweepCell};
 use crate::report::{geomean, pct, Table};
-use crate::system::run_workload;
 use droplet_trace::DataType;
+use std::sync::Arc;
 
 /// One LLC capacity point of the Fig. 4a sweep.
 #[derive(Debug, Clone)]
@@ -83,18 +84,19 @@ pub fn fig04a_llc_sweep(ctx: &ExperimentCtx) -> Fig04a {
             cfg
         })
         .collect();
+    // Every capacity has its own warmup-relevant key (the L3 shape changes
+    // the warmed state), so run_sweep degrades to full replay here; going
+    // through it anyway keeps the drivers on one code path.
     let mut cells = Vec::new();
     for cfg in &cfgs {
         for &spec in &specs {
-            cells.push((spec, cfg));
+            cells.push(SweepCell {
+                bundle: Arc::clone(&ctx.trace(&spec)),
+                cfg: cfg.clone(),
+            });
         }
     }
-    let results = ctx.pool.run(
-        cells
-            .iter()
-            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
-            .collect(),
-    );
+    let results = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
 
     // The first chunk is the base-capacity point speedups are measured
     // against.
@@ -211,18 +213,25 @@ pub fn fig04b_l2_sweep(ctx: &ExperimentCtx) -> Fig04b {
         .collect();
     // The baseline-cycles chunk (base L2 point) first, then one chunk per
     // swept configuration.
-    let mut cells: Vec<_> = specs.iter().map(|&spec| (spec, &ctx.base)).collect();
+    // L2 shape is warmup-relevant, so each configuration forms its own
+    // group; the shared-warmup fast path only kicks in for cells that agree
+    // on the hierarchy (e.g. the duplicated base point).
+    let mut cells: Vec<SweepCell> = specs
+        .iter()
+        .map(|&spec| SweepCell {
+            bundle: Arc::clone(&ctx.trace(&spec)),
+            cfg: ctx.base.clone(),
+        })
+        .collect();
     for (_, cfg) in &cfgs {
         for &spec in &specs {
-            cells.push((spec, cfg));
+            cells.push(SweepCell {
+                bundle: Arc::clone(&ctx.trace(&spec)),
+                cfg: cfg.clone(),
+            });
         }
     }
-    let results = ctx.pool.run(
-        cells
-            .iter()
-            .map(|&(spec, cfg)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
-            .collect(),
-    );
+    let results = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
 
     let n = specs.len();
     let base_cycles: Vec<u64> = results[..n].iter().map(|r| r.core.cycles).collect();
@@ -245,6 +254,7 @@ pub fn fig04b_l2_sweep(ctx: &ExperimentCtx) -> Fig04b {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::run_workload;
     use droplet_gap::Algorithm;
     use droplet_graph::Dataset;
 

@@ -50,6 +50,10 @@ pub struct ExperimentCtx {
     pub traces: TraceCache,
     /// Worker pool the drivers fan independent cells over.
     pub pool: JobPool,
+    /// Whether sweep drivers share warm-up across same-prefix cells via
+    /// [`crate::fork::run_sweep`] (on by default; results are bit-identical
+    /// either way, only wall time changes).
+    pub fork_sweeps: bool,
 }
 
 impl ExperimentCtx {
@@ -116,6 +120,7 @@ impl ExperimentCtx {
             base,
             traces: TraceCache::new(),
             pool: JobPool::from_env(),
+            fork_sweeps: true,
         }
     }
 
@@ -123,6 +128,13 @@ impl ExperimentCtx {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.pool = JobPool::with_threads(threads);
+        self
+    }
+
+    /// Disables (or re-enables) warm-up sharing in sweep drivers.
+    #[must_use]
+    pub fn with_fork_sweeps(mut self, on: bool) -> Self {
+        self.fork_sweeps = on;
         self
     }
 

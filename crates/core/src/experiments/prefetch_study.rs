@@ -5,11 +5,13 @@
 use crate::config::PrefetcherKind;
 use crate::datasets::WorkloadSpec;
 use crate::experiments::ExperimentCtx;
+use crate::fork::{run_sweep, SweepCell};
 use crate::report::{geomean, kv_footer, pct, Table};
-use crate::system::{run_workload, RunResult};
+use crate::system::RunResult;
 use droplet_gap::Algorithm;
 use droplet_trace::DataType;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Metrics of one (workload, configuration) run.
 #[derive(Debug, Clone)]
@@ -102,20 +104,24 @@ pub fn run_study(ctx: &ExperimentCtx, kinds: &[PrefetcherKind]) -> PrefetchStudy
     let cfgs: Vec<_> = kinds.iter().map(|&k| ctx.base.with_prefetcher(k)).collect();
 
     // Phase 2 — every (workload, configuration) cell, baseline first so
-    // speedups can be assembled from the ordered results.
-    let mut cells: Vec<(WorkloadSpec, &crate::config::SystemConfig, PrefetcherKind)> = Vec::new();
+    // speedups can be assembled from the ordered results. The sweep runner
+    // warms each workload once and forks the per-configuration measurement
+    // regions out (all cells of a workload share a warmup-relevant prefix).
+    let mut cells: Vec<SweepCell> = Vec::new();
     for &spec in &specs {
-        cells.push((spec, &ctx.base, PrefetcherKind::None));
-        for (cfg, &kind) in cfgs.iter().zip(kinds) {
-            cells.push((spec, cfg, kind));
+        let bundle = ctx.trace(&spec);
+        cells.push(SweepCell {
+            bundle: Arc::clone(&bundle),
+            cfg: ctx.base.clone(),
+        });
+        for cfg in &cfgs {
+            cells.push(SweepCell {
+                bundle: Arc::clone(&bundle),
+                cfg: cfg.clone(),
+            });
         }
     }
-    let results = ctx.pool.run(
-        cells
-            .iter()
-            .map(|&(spec, cfg, _)| move || run_workload(&ctx.trace(&spec), cfg, ctx.warmup))
-            .collect(),
-    );
+    let results = run_sweep(&ctx.pool, &cells, ctx.warmup, ctx.fork_sweeps);
 
     let mut baselines = Vec::new();
     let mut rows = Vec::new();
@@ -137,6 +143,7 @@ pub fn run_study(ctx: &ExperimentCtx, kinds: &[PrefetcherKind]) -> PrefetchStudy
             ("workloads", specs.len().to_string()),
             ("configs", kinds.len().to_string()),
             ("cells", cells.len().to_string()),
+            ("forked", ctx.fork_sweeps.to_string()),
             (
                 "wall_ms",
                 format!("{:.0}", wall.elapsed().as_secs_f64() * 1000.0),
@@ -381,6 +388,7 @@ impl PrefetchStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::run_workload;
     use droplet_graph::Dataset;
 
     /// A one-cell study so tests stay fast.

@@ -33,6 +33,7 @@
 pub mod config;
 pub mod datasets;
 pub mod experiments;
+pub mod fork;
 pub mod overhead;
 pub mod pool;
 pub mod report;
@@ -41,8 +42,11 @@ pub mod trace_cache;
 
 pub use config::{PrefetcherKind, SystemConfig};
 pub use datasets::WorkloadSpec;
+pub use fork::{run_forked, run_sweep, warm_snapshot, SweepCell, WarmupSnapshot};
 pub use pool::JobPool;
-pub use system::{run_workload, RunResult, System, SystemStats};
+pub use system::{
+    run_workload, ForkMutation, RunResult, System, SystemProbe, SystemSnapshot, SystemStats,
+};
 pub use trace_cache::TraceCache;
 
 // Re-export the substrate crates so downstream users need only `droplet`.

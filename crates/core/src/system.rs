@@ -95,6 +95,12 @@ pub struct System<'a> {
     /// Retire-clock cycle at which the measurement window opened (0 until
     /// `warmup_done` runs).
     warmup_boundary: Cycle,
+    /// Whether prefetch engines (and the adaptive controller) are live.
+    /// `false` until `warmup_done`: warm-up is demand-only, which makes the
+    /// warmed state a pure function of the warmup-relevant configuration
+    /// ([`SystemConfig::warmup_key`]) and lets forked sweeps share one
+    /// snapshot across every prefetcher configuration.
+    pf_enabled: bool,
 }
 
 /// Epoch-probing state for adaptive DROPLET (Section VII-B extension):
@@ -126,47 +132,12 @@ impl<'a> System<'a> {
             }
         }
 
-        let core_pf: Option<Box<dyn Prefetcher>> = match cfg.prefetcher {
-            PrefetcherKind::None => None,
-            PrefetcherKind::NextLine => {
-                Some(Box::new(droplet_prefetch::NextLinePrefetcher::new(2)))
-            }
-            PrefetcherKind::Ghb => Some(Box::new(GhbPrefetcher::new(cfg.ghb.clone()))),
-            PrefetcherKind::Vldp => Some(Box::new(VldpPrefetcher::new(cfg.vldp.clone()))),
-            PrefetcherKind::Stream
-            | PrefetcherKind::StreamMpp1
-            | PrefetcherKind::Droplet
-            | PrefetcherKind::MonoDropletL1
-            | PrefetcherKind::AdaptiveDroplet => {
-                Some(Box::new(StreamPrefetcher::new(cfg.stream.clone())))
-            }
-        };
-        let mpp = cfg.prefetcher.has_mpp().then(|| {
-            let mut targets = vec![droplet_prefetch::PropertyTarget {
-                base: bundle.property_base,
-                elem_bytes: bundle.prop_elem_bytes,
-                len: bundle.prop_len,
-            }];
-            for &(base, elem_bytes, len) in &bundle.extra_property_targets {
-                targets.push(droplet_prefetch::PropertyTarget {
-                    base,
-                    elem_bytes,
-                    len,
-                });
-            }
-            Mpp::new_multi(cfg.mpp.clone(), targets)
-        });
+        let core_pf = build_core_pf(&cfg);
+        let mpp = build_mpp(&cfg, bundle);
 
         let cfg_mshrs = cfg.mshrs.max(1);
         let promote_budget = demand_promotion_budget(&cfg);
-        let adaptive_state =
-            (cfg.prefetcher == PrefetcherKind::AdaptiveDroplet).then(|| AdaptiveState {
-                epoch_misses: cfg.adaptive_epoch_misses.max(1),
-                misses: 0,
-                latency_sum: 0,
-                phase: 0,
-                probe_data_aware_avg: 0.0,
-            });
+        let adaptive_state = build_adaptive(&cfg);
         let obs = cfg.obs.map(|c| Box::new(ObsRecorder::new(c)));
         System {
             dtlb: Tlb::new(cfg.dtlb_entries),
@@ -189,6 +160,136 @@ impl<'a> System<'a> {
             adaptive: adaptive_state,
             obs,
             warmup_boundary: 0,
+            pf_enabled: false,
+        }
+    }
+
+    /// Captures everything that evolved during warm-up into an owned,
+    /// `'static` snapshot. Meant to be taken at the warm-up boundary
+    /// (before `warmup_done`); [`System::fork`] then restores it under any
+    /// configuration sharing the same [`SystemConfig::warmup_key`].
+    pub fn snapshot(&self) -> SystemSnapshot {
+        debug_assert!(
+            self.mrb.is_empty(),
+            "MRB must be empty at the warm-up boundary under demand-only warm-up"
+        );
+        SystemSnapshot {
+            cfg: self.cfg.clone(),
+            page_table: self.page_table.clone(),
+            dtlb: self.dtlb.clone(),
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            l3: self.l3.clone(),
+            dram: self.dram.clone(),
+            mshr: self.mshr.clone(),
+            same_page: self.same_page,
+            stats: self.stats,
+            core_pf: self.core_pf.clone(),
+            mpp: self.mpp.clone(),
+            adaptive: self.adaptive,
+            warmup_boundary: self.warmup_boundary,
+            pf_enabled: self.pf_enabled,
+        }
+    }
+
+    /// Rebuilds a warmed system from `snap` under `cfg`, swapping in the
+    /// fork-safe knobs (prefetcher wiring, adaptive controller, obs).
+    ///
+    /// Bit-exactness argument: warm-up is demand-only, so at the boundary
+    /// (a) the predictors, MPP, and adaptive controller are pristine —
+    /// when the fork's prefetcher wiring differs from the parent's they are
+    /// simply built fresh, which is identical to what a from-scratch run
+    /// would hold; (b) the MRB is empty, so it is rebuilt at the fork's
+    /// `mrb_entries`; (c) the sampler never ran, so it starts fresh.
+    /// Everything demand-path — caches, DTLB, page table, DRAM, MSHRs, the
+    /// same-page memo — is restored verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` disagrees with the snapshot's configuration on any
+    /// warmup-relevant field ([`SystemConfig::warmup_key`]); such sweeps
+    /// must fall back to full replay.
+    pub fn fork(snap: &SystemSnapshot, cfg: &SystemConfig, bundle: &'a TraceBundle) -> Self {
+        Self::fork_mutated(snap, cfg, bundle, ForkMutation::None)
+    }
+
+    /// [`System::fork`] with an injected snapshot-restore fault, for the
+    /// conformance self-test that proves the fork-vs-scratch differ catches
+    /// incomplete snapshots.
+    #[doc(hidden)]
+    pub fn fork_mutated(
+        snap: &SystemSnapshot,
+        cfg: &SystemConfig,
+        bundle: &'a TraceBundle,
+        mutation: ForkMutation,
+    ) -> Self {
+        assert_eq!(
+            snap.cfg.warmup_key(),
+            cfg.warmup_key(),
+            "fork requires identical warmup-relevant configuration"
+        );
+        let same_wiring = prefetch_wiring_eq(&snap.cfg, cfg);
+        let core_pf = if same_wiring {
+            snap.core_pf.clone()
+        } else {
+            build_core_pf(cfg)
+        };
+        let mpp = if same_wiring {
+            snap.mpp.clone()
+        } else {
+            build_mpp(cfg, bundle)
+        };
+        let adaptive = if same_wiring {
+            snap.adaptive
+        } else {
+            build_adaptive(cfg)
+        };
+        let dtlb = match mutation {
+            ForkMutation::SkipDtlb => Tlb::new(cfg.dtlb_entries),
+            _ => snap.dtlb.clone(),
+        };
+        let same_page = match mutation {
+            // A fresh DTLB invalidates the memo's MRU guarantee too.
+            ForkMutation::SkipDtlb => None,
+            _ => snap.same_page,
+        };
+        let l1 = match mutation {
+            ForkMutation::SkipL1 => SetAssocCache::new(cfg.l1.clone()),
+            _ => snap.l1.clone(),
+        };
+        System {
+            dtlb,
+            l1,
+            l2: snap.l2.clone(),
+            l3: snap.l3.clone(),
+            dram: snap.dram.clone(),
+            mrb: Mrb::new(cfg.mrb_entries),
+            core_pf,
+            mpp,
+            cfg: cfg.clone(),
+            bundle,
+            page_table: snap.page_table.clone(),
+            promote_budget: demand_promotion_budget(cfg),
+            stats: snap.stats,
+            pf_buf: Vec::with_capacity(64),
+            mpp_buf: Vec::with_capacity(64),
+            mshr: snap.mshr.clone(),
+            same_page,
+            adaptive,
+            obs: cfg.obs.map(|c| Box::new(ObsRecorder::new(c))),
+            warmup_boundary: snap.warmup_boundary,
+            pf_enabled: snap.pf_enabled,
+        }
+    }
+
+    /// A cheap observable fingerprint of demand-path state, for the
+    /// lockstep fork-vs-scratch differ: any restore omission that can
+    /// change timing shows up here within a few operations.
+    pub fn probe(&self) -> SystemProbe {
+        SystemProbe {
+            dtlb_misses: self.stats.dtlb_misses,
+            l1_demand_hits: self.l1.stats().demand_hits.total(),
+            dram_demand_accesses: self.dram.stats().demand_accesses,
         }
     }
 
@@ -425,7 +526,11 @@ impl<'a> System<'a> {
     }
 
     /// Adaptive DROPLET: account one demand miss and run the epoch logic.
+    /// Inert during warm-up (probing epochs count measured misses only).
     fn adaptive_observe_miss(&mut self, latency: Cycle) {
+        if !self.pf_enabled {
+            return;
+        }
         let Some(mut st) = self.adaptive else {
             return;
         };
@@ -457,10 +562,145 @@ impl<'a> System<'a> {
     }
 
     fn feed_prefetcher(&mut self, ev: AccessEvent) {
+        // Demand-only warm-up: engines observe nothing before the boundary,
+        // so the warmed state (and hence a fork snapshot) is independent of
+        // the prefetcher configuration.
+        if !self.pf_enabled {
+            return;
+        }
         if let Some(pf) = self.core_pf.as_mut() {
             pf.on_access(&ev, &mut self.pf_buf);
         }
     }
+}
+
+/// An owned (`'static`) capture of everything in a [`System`] that evolved
+/// during warm-up: page table, DTLB, all cache tags+stamps+meta, DRAM and
+/// MSHR state, predictor state, and statistics. Taken with
+/// [`System::snapshot`] at the warm-up boundary; any configuration sharing
+/// the parent's [`SystemConfig::warmup_key`] can [`System::fork`] from it.
+///
+/// Deliberately *not* captured: the MRB (only prefetch paths fill it, so
+/// it is provably empty at the boundary and is rebuilt at the fork's
+/// capacity), the sampler (measurement-only; `warmup_done` re-anchors it),
+/// and the transient prefetch/candidate buffers (always empty between
+/// accesses).
+#[derive(Clone)]
+pub struct SystemSnapshot {
+    cfg: SystemConfig,
+    page_table: PageTable,
+    dtlb: Tlb,
+    l1: SetAssocCache,
+    l2: Option<SetAssocCache>,
+    l3: SetAssocCache,
+    dram: Dram,
+    mshr: MshrFile,
+    same_page: Option<(u64, PageEntry)>,
+    stats: SystemStats,
+    core_pf: Option<Box<dyn Prefetcher>>,
+    mpp: Option<Mpp>,
+    adaptive: Option<AdaptiveState>,
+    warmup_boundary: Cycle,
+    pf_enabled: bool,
+}
+
+impl SystemSnapshot {
+    /// The configuration of the system this snapshot was taken from.
+    pub fn parent_cfg(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The parent's simulated-machine hash (for `forked_from` manifests).
+    pub fn parent_config_hash(&self) -> u64 {
+        config_hash(&self.cfg)
+    }
+}
+
+/// An injected snapshot-restore fault: skip one field when forking, so the
+/// conformance self-test can prove the lockstep fork-vs-scratch differ
+/// detects incomplete snapshots. Mirrors `CacheMutation`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForkMutation {
+    /// Faithful restore (production behavior).
+    #[default]
+    None,
+    /// Forget the warmed DTLB (fork starts translation-cold).
+    SkipDtlb,
+    /// Forget the warmed L1 (fork starts with a cold L1).
+    SkipL1,
+}
+
+/// Observable demand-path counters exposed by [`System::probe`] for the
+/// lockstep differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemProbe {
+    /// Demand DTLB misses so far.
+    pub dtlb_misses: u64,
+    /// L1 demand hits so far (all data types).
+    pub l1_demand_hits: u64,
+    /// DRAM demand accesses so far.
+    pub dram_demand_accesses: u64,
+}
+
+/// The core-side prefetch engine `cfg` asks for (pristine).
+fn build_core_pf(cfg: &SystemConfig) -> Option<Box<dyn Prefetcher>> {
+    match cfg.prefetcher {
+        PrefetcherKind::None => None,
+        PrefetcherKind::NextLine => Some(Box::new(droplet_prefetch::NextLinePrefetcher::new(2))),
+        PrefetcherKind::Ghb => Some(Box::new(GhbPrefetcher::new(cfg.ghb.clone()))),
+        PrefetcherKind::Vldp => Some(Box::new(VldpPrefetcher::new(cfg.vldp.clone()))),
+        PrefetcherKind::Stream
+        | PrefetcherKind::StreamMpp1
+        | PrefetcherKind::Droplet
+        | PrefetcherKind::MonoDropletL1
+        | PrefetcherKind::AdaptiveDroplet => {
+            Some(Box::new(StreamPrefetcher::new(cfg.stream.clone())))
+        }
+    }
+}
+
+/// The MPP `cfg` asks for, programmed with `bundle`'s property targets.
+fn build_mpp(cfg: &SystemConfig, bundle: &TraceBundle) -> Option<Mpp> {
+    cfg.prefetcher.has_mpp().then(|| {
+        let mut targets = vec![droplet_prefetch::PropertyTarget {
+            base: bundle.property_base,
+            elem_bytes: bundle.prop_elem_bytes,
+            len: bundle.prop_len,
+        }];
+        for &(base, elem_bytes, len) in &bundle.extra_property_targets {
+            targets.push(droplet_prefetch::PropertyTarget {
+                base,
+                elem_bytes,
+                len,
+            });
+        }
+        Mpp::new_multi(cfg.mpp.clone(), targets)
+    })
+}
+
+/// The adaptive-DROPLET probing state `cfg` asks for (fresh).
+fn build_adaptive(cfg: &SystemConfig) -> Option<AdaptiveState> {
+    (cfg.prefetcher == PrefetcherKind::AdaptiveDroplet).then(|| AdaptiveState {
+        epoch_misses: cfg.adaptive_epoch_misses.max(1),
+        misses: 0,
+        latency_sum: 0,
+        phase: 0,
+        probe_data_aware_avg: 0.0,
+    })
+}
+
+/// Whether two configurations wire up identical prefetch machinery, so a
+/// fork may reuse the snapshot's predictor state instead of building fresh
+/// engines. (Under demand-only warm-up both paths are bit-identical — the
+/// snapshot's engines are pristine — but reuse keeps the fork path honest
+/// should warm-up ever start feeding them.)
+fn prefetch_wiring_eq(a: &SystemConfig, b: &SystemConfig) -> bool {
+    a.prefetcher == b.prefetcher
+        && a.stream == b.stream
+        && a.ghb == b.ghb
+        && a.vldp == b.vldp
+        && a.mpp == b.mpp
+        && a.adaptive_epoch_misses == b.adaptive_epoch_misses
 }
 
 /// The worst-case latency a *demand* access would pay if it re-issued
@@ -511,6 +751,8 @@ impl MemorySystem for System<'_> {
         // `CoreResult::cycles` is measured on — recorded so utilization
         // windows line up with the core's measurement window.
         self.warmup_boundary = now;
+        // Warm-up is demand-only; the prefetch machinery goes live here.
+        self.pf_enabled = true;
         if self.obs.is_some() {
             // Anchor the sampler at the just-reset statistics; the MRB's
             // lifetime counters are the only non-zero baseline values.
@@ -899,24 +1141,65 @@ pub fn run_workload(bundle: &TraceBundle, cfg: &SystemConfig, warmup_ops: usize)
     let mut system = System::new(cfg.clone(), bundle);
     let applied = warmup_ops.min(bundle.ops.len() / 2);
     let core_result = core.run(&bundle.ops, &mut system, applied);
-    let boundary = system.warmup_boundary();
+    assemble_result(
+        system,
+        core_result,
+        RunShape {
+            warmup_requested: warmup_ops as u64,
+            warmup_applied: applied as u64,
+            forked_from: None,
+            warmup_shared: None,
+        },
+        wall,
+    )
+}
+
+/// How a finished run came to be: warm-up accounting plus fork lineage.
+pub(crate) struct RunShape {
+    pub warmup_requested: u64,
+    pub warmup_applied: u64,
+    /// Parent snapshot's config hash, for forked runs.
+    pub forked_from: Option<u64>,
+    /// Inherited warm-up op count, for forked runs.
+    pub warmup_shared: Option<u64>,
+}
+
+/// Drains the finished `system` into a [`RunResult`] with its manifest —
+/// the single assembly path shared by [`run_workload`] and the forked
+/// runner ([`crate::fork::run_forked`]), so fork and full runs can never
+/// drift in what they report.
+pub(crate) fn assemble_result(
+    mut system: System<'_>,
+    core_result: CoreResult,
+    shape: RunShape,
+    wall: std::time::Instant,
+) -> RunResult {
+    let cfg = &system.cfg;
+    let boundary = system.warmup_boundary;
+    let config_hash = config_hash(cfg);
+    let prefetcher = cfg.prefetcher.name().to_string();
+    let trace_ops = system.bundle.ops.len() as u64;
+    let epoch_ops = cfg.obs.map(|o| o.epoch_ops);
+    let prefetch_home_is_l1 = cfg.prefetcher.monolithic_l1();
     let journal = system.take_journal(boundary + core_result.cycles);
     let manifest = RunManifest {
-        config_hash: config_hash(cfg),
-        prefetcher: cfg.prefetcher.name().to_string(),
+        config_hash,
+        prefetcher,
         workload: None,
-        trace_ops: bundle.ops.len() as u64,
-        warmup_requested: warmup_ops as u64,
-        warmup_applied: applied as u64,
-        warmup_clamped: applied != warmup_ops,
+        trace_ops,
+        warmup_requested: shape.warmup_requested,
+        warmup_applied: shape.warmup_applied,
+        warmup_clamped: shape.warmup_applied != shape.warmup_requested,
         warmup_boundary_cycle: boundary,
         threads: None,
         seed: std::env::var("DROPLET_TEST_SEED")
             .ok()
             .and_then(|s| s.parse().ok()),
-        epoch_ops: cfg.obs.map(|o| o.epoch_ops),
+        epoch_ops,
         epochs: journal.as_ref().map(|j| j.epoch_count() as u64),
         wall_ms: wall.elapsed().as_secs_f64() * 1000.0,
+        forked_from: shape.forked_from,
+        warmup_shared: shape.warmup_shared,
     };
     RunResult {
         core: core_result,
@@ -926,11 +1209,11 @@ pub fn run_workload(bundle: &TraceBundle, cfg: &SystemConfig, warmup_ops: usize)
         dram: *system.dram.stats(),
         mpp: system.mpp.as_ref().map(|m| *m.stats()),
         sys: system.stats,
-        prefetch_home_is_l1: cfg.prefetcher.monolithic_l1(),
+        prefetch_home_is_l1,
         warmup_boundary_cycle: boundary,
-        warmup_ops_requested: warmup_ops as u64,
-        warmup_ops_applied: applied as u64,
-        warmup_clamped: applied != warmup_ops,
+        warmup_ops_requested: shape.warmup_requested,
+        warmup_ops_applied: shape.warmup_applied,
+        warmup_clamped: shape.warmup_applied != shape.warmup_requested,
         manifest,
         journal,
     }

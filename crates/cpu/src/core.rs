@@ -148,7 +148,9 @@ impl CoreResult {
 }
 
 /// History ring length (must exceed any producer distance the ROB allows).
+/// A power of two so ring indices reduce with a mask instead of a modulo.
 const HIST: usize = 8192;
+const HIST_MASK: usize = HIST - 1;
 
 /// The core simulator.
 #[derive(Debug, Clone)]
@@ -163,11 +165,7 @@ impl CoreSim {
     ///
     /// Panics if any parameter is zero or the ROB exceeds the history ring.
     pub fn new(cfg: CoreConfig) -> Self {
-        assert!(
-            cfg.rob > 0 && cfg.load_queue > 0 && cfg.store_queue > 0 && cfg.width > 0,
-            "degenerate core config"
-        );
-        assert!((cfg.rob as usize) < HIST, "ROB larger than history ring");
+        let _ = CoreEngine::new(cfg); // validate
         CoreSim { cfg }
     }
 
@@ -177,13 +175,192 @@ impl CoreSim {
     }
 
     /// Replays `trace` against `mem`. The first `warmup_ops` operations warm
-    /// the memory system; statistics cover only the remainder.
+    /// the memory system; statistics cover only the remainder (`warmup_ops`
+    /// saturates at the trace length, yielding an empty window).
     pub fn run(
         &self,
         trace: &[MemOp],
         mem: &mut impl MemorySystem,
         warmup_ops: usize,
     ) -> CoreResult {
+        let mut engine = CoreEngine::new(self.cfg);
+        let split = warmup_ops.min(trace.len());
+        engine.warmup(&trace[..split], mem);
+        engine.measure(&trace[split..], mem)
+    }
+}
+
+/// Open measurement window: the accumulators of one measured region.
+///
+/// Created by [`CoreEngine::open_window`] (which also signals
+/// [`MemorySystem::warmup_done`]), filled by [`CoreEngine::measure_chunk`],
+/// and turned into a [`CoreResult`] by [`CoreEngine::finish`]. The split
+/// exists so callers that need op-by-op control — the conformance lockstep
+/// differ stepping a forked run against a from-scratch run — can drive the
+/// same code path `measure` uses.
+#[derive(Debug, Clone)]
+pub struct MeasureState {
+    stack: CycleStack,
+    dram_intervals: Vec<(Cycle, Cycle)>,
+    serviced_by: [u64; 4],
+    memops: u64,
+    loads: u64,
+    window_start_cycle: Cycle,
+    window_start_ii: u64,
+}
+
+/// The complete core-model state of a run in flight: the slot-unit clocks,
+/// the ROB/LQ/SQ retire-time rings, and the op-history rings the producer
+/// dependency reads. `Clone` is a faithful snapshot — forked sweeps clone
+/// the engine at the warm-up boundary and resume each fork independently,
+/// which is bit-identical to re-running the prefix because the engine's
+/// state is a pure function of the ops applied so far.
+#[derive(Debug, Clone)]
+pub struct CoreEngine {
+    cfg: CoreConfig,
+    /// Slot-unit clocks (1 slot = 1/width cycle).
+    disp_units: u64,
+    ret_units: u64,
+    /// Recent-op history: cumulative instruction index at block end,
+    /// retire time (cycles), completion time (cycles). Boxed so the engine
+    /// is cheap to move; indexed by global op position & [`HIST_MASK`].
+    end_ii: Box<[u64; HIST]>,
+    ret_time: Box<[u64; HIST]>,
+    complete: Box<[u64; HIST]>,
+    /// Two-pointer for the ROB constraint.
+    rob_ptr: usize,
+    /// Load/store queue retire-time rings.
+    load_ret: Vec<u64>,
+    store_ret: Vec<u64>,
+    n_loads: usize,
+    n_stores: usize,
+    /// Ring cursors maintained incrementally (== n_loads % lq etc.) so
+    /// the per-op queue probes never pay a runtime modulo.
+    load_pos: usize,
+    store_pos: usize,
+    /// Cumulative instruction count.
+    ii: u64,
+    /// Global op position (continues across warmup/measure spans).
+    pos: usize,
+}
+
+impl CoreEngine {
+    /// Creates an idle engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or the ROB exceeds the history ring.
+    pub fn new(cfg: CoreConfig) -> Self {
+        assert!(
+            cfg.rob > 0 && cfg.load_queue > 0 && cfg.store_queue > 0 && cfg.width > 0,
+            "degenerate core config"
+        );
+        assert!((cfg.rob as usize) < HIST, "ROB larger than history ring");
+        CoreEngine {
+            cfg,
+            disp_units: 0,
+            ret_units: 0,
+            end_ii: Box::new([0u64; HIST]),
+            ret_time: Box::new([0u64; HIST]),
+            complete: Box::new([0u64; HIST]),
+            rob_ptr: 0,
+            load_ret: vec![0u64; cfg.load_queue as usize],
+            store_ret: vec![0u64; cfg.store_queue as usize],
+            n_loads: 0,
+            n_stores: 0,
+            load_pos: 0,
+            store_pos: 0,
+            ii: 0,
+            pos: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// The engine's clocks `(dispatch slot-units, retire slot-units,
+    /// cumulative instructions)` — a cheap fingerprint the conformance
+    /// differ compares op-by-op between forked and from-scratch runs.
+    pub fn clocks(&self) -> (u64, u64, u64) {
+        (self.disp_units, self.ret_units, self.ii)
+    }
+
+    /// Slot units → cycles on the retire clock.
+    fn div_w_cfg(&self, units: u64) -> Cycle {
+        let w = u64::from(self.cfg.width);
+        if w.is_power_of_two() {
+            units >> w.trailing_zeros()
+        } else {
+            units / w
+        }
+    }
+
+    /// Runs `ops` without measurement (the warm-up prefix).
+    pub fn warmup(&mut self, ops: &[MemOp], mem: &mut impl MemorySystem) {
+        self.run_span(ops, mem, None);
+    }
+
+    /// Opens the measurement window at the engine's current clock and
+    /// signals [`MemorySystem::warmup_done`]. The boundary passed down is
+    /// the retire clock — the same clock `window_start_cycle` (and thus
+    /// [`CoreResult::cycles`]) is measured on, so memory-side utilization
+    /// windows line up with the core's measurement window.
+    pub fn open_window(&self, mem: &mut impl MemorySystem) -> MeasureState {
+        let window_start_cycle = self.div_w_cfg(self.ret_units);
+        mem.warmup_done(window_start_cycle);
+        MeasureState {
+            stack: CycleStack::default(),
+            dram_intervals: Vec::new(),
+            serviced_by: [0u64; 4],
+            memops: 0,
+            loads: 0,
+            window_start_cycle,
+            window_start_ii: self.ii,
+        }
+    }
+
+    /// Runs `ops` inside an open measurement window.
+    pub fn measure_chunk(
+        &mut self,
+        ops: &[MemOp],
+        mem: &mut impl MemorySystem,
+        m: &mut MeasureState,
+    ) {
+        self.run_span(ops, mem, Some(m));
+    }
+
+    /// Closes the window and assembles the measured result.
+    pub fn finish(&self, m: MeasureState) -> CoreResult {
+        let end_cycle = self.div_w_cfg(self.ret_units);
+        CoreResult {
+            cycles: end_cycle.saturating_sub(m.window_start_cycle),
+            instructions: self.ii - m.window_start_ii,
+            memops: m.memops,
+            loads: m.loads,
+            serviced_by: m.serviced_by,
+            cycle_stack: m.stack,
+            mlp: mlp_of_intervals(&m.dram_intervals),
+        }
+    }
+
+    /// Opens the window, measures `ops`, and closes the window.
+    pub fn measure(&mut self, ops: &[MemOp], mem: &mut impl MemorySystem) -> CoreResult {
+        let mut m = self.open_window(mem);
+        self.measure_chunk(ops, mem, &mut m);
+        self.finish(m)
+    }
+
+    /// The timing loop shared by warm-up and measurement; `meas` carries
+    /// the open window's accumulators (None during warm-up — one predicted
+    /// branch per op, like the `measuring` flag it replaces).
+    fn run_span(
+        &mut self,
+        ops: &[MemOp],
+        mem: &mut impl MemorySystem,
+        mut meas: Option<&mut MeasureState>,
+    ) {
         let w = u64::from(self.cfg.width);
         let rob = u64::from(self.cfg.rob);
         // Slot-unit → cycle conversions happen several times per op, and a
@@ -200,57 +377,26 @@ impl CoreSim {
             None => units / w,
         };
 
-        // Slot-unit clocks (1 slot = 1/width cycle).
-        let mut disp_units: u64 = 0;
-        let mut ret_units: u64 = 0;
-
-        // Recent-op history: cumulative instruction index at block end,
-        // retire time (cycles), completion time (cycles).
-        let mut end_ii = [0u64; HIST];
-        let mut ret_time = [0u64; HIST];
-        let mut complete = [0u64; HIST];
-        // Two-pointer for the ROB constraint.
-        let mut rob_ptr: usize = 0;
-
-        // Load/store queue retire-time rings.
+        // Hoist the engine state into locals for the hot loop.
+        let mut disp_units = self.disp_units;
+        let mut ret_units = self.ret_units;
+        let end_ii = &mut *self.end_ii;
+        let ret_time = &mut *self.ret_time;
+        let complete = &mut *self.complete;
+        let mut rob_ptr = self.rob_ptr;
         let lq = self.cfg.load_queue as usize;
         let sq = self.cfg.store_queue as usize;
-        let mut load_ret = vec![0u64; lq];
-        let mut store_ret = vec![0u64; sq];
-        let mut n_loads: usize = 0;
-        let mut n_stores: usize = 0;
-        // Ring cursors maintained incrementally (== n_loads % lq etc.) so
-        // the per-op queue probes never pay a runtime modulo.
-        let mut load_pos: usize = 0;
-        let mut store_pos: usize = 0;
+        let load_ret = &mut self.load_ret[..];
+        let store_ret = &mut self.store_ret[..];
+        let mut n_loads = self.n_loads;
+        let mut n_stores = self.n_stores;
+        let mut load_pos = self.load_pos;
+        let mut store_pos = self.store_pos;
+        let mut ii = self.ii;
+        let base = self.pos;
 
-        let mut ii: u64 = 0; // cumulative instruction count
-
-        // Measurement-window accumulators.
-        let mut stack = CycleStack::default();
-        let mut dram_intervals: Vec<(Cycle, Cycle)> = Vec::new();
-        let mut serviced_by = [0u64; 4];
-        let mut memops = 0u64;
-        let mut loads = 0u64;
-        let mut window_start_cycle: Cycle = 0;
-        let mut window_start_ii: u64 = 0;
-        let mut measuring = warmup_ops == 0;
-        if measuring {
-            mem.warmup_done(0);
-        }
-
-        for (i, op) in trace.iter().enumerate() {
-            if !measuring && i >= warmup_ops {
-                measuring = true;
-                window_start_cycle = div_w(ret_units);
-                window_start_ii = ii;
-                // The boundary passed down is the retire clock — the same
-                // clock `window_start_cycle` (and thus `CoreResult::cycles`)
-                // is measured on, so memory-side utilization windows line up
-                // with the core's measurement window.
-                mem.warmup_done(window_start_cycle);
-            }
-
+        for (k, op) in ops.iter().enumerate() {
+            let i = base + k;
             let block = 1 + u64::from(op.pre_compute());
             let ii_start = ii;
             ii += block;
@@ -260,11 +406,11 @@ impl CoreSim {
             // ROB: instruction (ii_start - rob) must have retired.
             if ii_start >= rob {
                 let target = ii_start - rob;
-                while rob_ptr < i && end_ii[(rob_ptr + 1) % HIST] <= target {
+                while rob_ptr < i && end_ii[(rob_ptr + 1) & HIST_MASK] <= target {
                     rob_ptr += 1;
                 }
-                if i > 0 && end_ii[rob_ptr % HIST] <= target {
-                    floor_units = floor_units.max(ret_time[rob_ptr % HIST] * w + block);
+                if i > 0 && end_ii[rob_ptr & HIST_MASK] <= target {
+                    floor_units = floor_units.max(ret_time[rob_ptr & HIST_MASK] * w + block);
                 }
             }
             // LQ/SQ occupancy.
@@ -283,7 +429,7 @@ impl CoreSim {
             if let Some(back) = op.producer_back() {
                 let back = back as usize;
                 if back <= i && back < HIST {
-                    let pc = complete[(i - back) % HIST];
+                    let pc = complete[(i - back) & HIST_MASK];
                     issue_at = issue_at.max(pc);
                 }
             }
@@ -306,7 +452,7 @@ impl CoreSim {
             let rt = div_w(ret_units);
 
             // --- Bookkeeping rings ---
-            let h = i % HIST;
+            let h = i & HIST_MASK;
             end_ii[h] = ii;
             ret_time[h] = rt;
             complete[h] = complete_at;
@@ -327,42 +473,42 @@ impl CoreSim {
             }
 
             // --- Measurement ---
-            if measuring {
-                memops += 1;
+            if let Some(m) = meas.as_deref_mut() {
+                m.memops += 1;
                 let elapsed = ret_units - before;
                 let excess = elapsed.saturating_sub(block);
-                stack.base += block;
+                m.stack.base += block;
                 match level {
                     Some(l) => {
                         if op.is_load() {
-                            loads += 1;
-                            serviced_by[l.index()] += 1;
+                            m.loads += 1;
+                            m.serviced_by[l.index()] += 1;
                             if l == ServiceLevel::Dram {
-                                dram_intervals.push((issue_at, complete_at));
+                                m.dram_intervals.push((issue_at, complete_at));
                             }
                         }
                         match l {
-                            ServiceLevel::L1 => stack.l1 += excess,
-                            ServiceLevel::L2 => stack.l2 += excess,
-                            ServiceLevel::L3 => stack.l3 += excess,
-                            ServiceLevel::Dram => stack.dram += excess,
+                            ServiceLevel::L1 => m.stack.l1 += excess,
+                            ServiceLevel::L2 => m.stack.l2 += excess,
+                            ServiceLevel::L3 => m.stack.l3 += excess,
+                            ServiceLevel::Dram => m.stack.dram += excess,
                         }
                     }
-                    None => stack.other += excess,
+                    None => m.stack.other += excess,
                 }
             }
         }
 
-        let end_cycle = div_w(ret_units);
-        CoreResult {
-            cycles: end_cycle.saturating_sub(window_start_cycle),
-            instructions: ii - window_start_ii,
-            memops,
-            loads,
-            serviced_by,
-            cycle_stack: stack,
-            mlp: mlp_of_intervals(&dram_intervals),
-        }
+        // Write the hoisted state back.
+        self.disp_units = disp_units;
+        self.ret_units = ret_units;
+        self.rob_ptr = rob_ptr;
+        self.n_loads = n_loads;
+        self.n_stores = n_stores;
+        self.load_pos = load_pos;
+        self.store_pos = store_pos;
+        self.ii = ii;
+        self.pos = base + ops.len();
     }
 }
 

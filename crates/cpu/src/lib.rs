@@ -38,7 +38,8 @@ pub mod mshr;
 pub mod stack;
 
 pub use crate::core::{
-    AccessResponse, CoreConfig, CoreResult, CoreSim, MemorySystem, ServiceLevel,
+    AccessResponse, CoreConfig, CoreEngine, CoreResult, CoreSim, MeasureState, MemorySystem,
+    ServiceLevel,
 };
 pub use depchain::{analyze_chains, ChainReport};
 pub use mlp::{mlp_of_intervals, MlpStats};

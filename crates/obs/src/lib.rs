@@ -507,6 +507,13 @@ pub struct RunManifest {
     /// Wall-clock milliseconds of the run (not deterministic; excluded
     /// from digests and determinism comparisons).
     pub wall_ms: f64,
+    /// For forked runs: the parent snapshot's config hash. `None` for a
+    /// from-scratch run — the field keeps fork and full journals
+    /// distinguishable in `droplet-bench-diff`.
+    pub forked_from: Option<u64>,
+    /// For forked runs: the warm-up op count inherited from the shared
+    /// snapshot.
+    pub warmup_shared: Option<u64>,
 }
 
 fn opt_json<T: ToString>(v: &Option<T>, quote_it: bool) -> String {
@@ -540,6 +547,11 @@ impl RunManifest {
             ("epoch_ops".into(), opt_json(&self.epoch_ops, false)),
             ("epochs".into(), opt_json(&self.epochs, false)),
             ("wall_ms".into(), json::num(self.wall_ms)),
+            (
+                "forked_from".into(),
+                opt_json(&self.forked_from.map(|h| format!("{h:016x}")), true),
+            ),
+            ("warmup_shared".into(), opt_json(&self.warmup_shared, false)),
         ])
     }
 }
@@ -654,6 +666,20 @@ mod tests {
         assert!(s.contains("\"config_hash\": \"000000000000abcd\""));
         assert!(s.contains("\"workload\": null"));
         assert!(s.contains("\"prefetcher\": \"DROPLET\""));
+        assert!(s.contains("\"forked_from\": null"));
+        assert!(s.contains("\"warmup_shared\": null"));
+    }
+
+    #[test]
+    fn manifest_renders_fork_lineage() {
+        let m = RunManifest {
+            forked_from: Some(0xabcd),
+            warmup_shared: Some(4096),
+            ..RunManifest::default()
+        };
+        let s = m.render_json();
+        assert!(s.contains("\"forked_from\": \"000000000000abcd\""));
+        assert!(s.contains("\"warmup_shared\": 4096"));
     }
 
     #[test]

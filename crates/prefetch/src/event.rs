@@ -59,7 +59,11 @@ pub struct PrefetchRequest {
 }
 
 /// A reactive core-side prefetch engine.
-pub trait Prefetcher {
+///
+/// `Send + Sync` is required so snapshots holding a boxed engine can be
+/// shared across the sweep worker pool; engines are plain lookup tables, so
+/// every implementation satisfies both automatically.
+pub trait Prefetcher: Send + Sync {
     /// Observes one access and appends any prefetch requests to `out`.
     fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>);
 
@@ -68,6 +72,10 @@ pub trait Prefetcher {
 
     /// Requests issued so far.
     fn issued(&self) -> u64;
+
+    /// An owned duplicate carrying all learned state — the snapshot path
+    /// forked sweeps use to restore predictors at the warm-up boundary.
+    fn box_clone(&self) -> Box<dyn Prefetcher>;
 
     /// Runtime mode switch for engines with a data-aware filter (the
     /// adaptive-DROPLET extension of Section VII-B). Default: no-op.
@@ -78,6 +86,12 @@ pub trait Prefetcher {
     /// Whether the engine is currently in data-aware mode.
     fn is_data_aware(&self) -> bool {
         false
+    }
+}
+
+impl Clone for Box<dyn Prefetcher> {
+    fn clone(&self) -> Self {
+        self.box_clone()
     }
 }
 

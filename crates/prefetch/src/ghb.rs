@@ -8,7 +8,7 @@
 //! addresses.
 
 use crate::event::{AccessEvent, EventKind, PrefetchRequest, Prefetcher};
-use std::collections::HashMap;
+use droplet_trace::FxHashMap;
 
 /// GHB parameters (paper Table V).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,8 +60,11 @@ pub struct GhbPrefetcher {
     /// Next absolute position to write.
     head: u64,
     /// Delta-pair → most recent absolute position *after* which the pair was
-    /// completed (i.e. position of the miss that completed the pair).
-    index: HashMap<(i64, i64), u64>,
+    /// completed (i.e. position of the miss that completed the pair). Keyed
+    /// with the fast deterministic hasher: the map is only ever probed by
+    /// key (eviction order comes from `index_fifo`), so the hasher choice
+    /// cannot change decisions, only hashing cost.
+    index: FxHashMap<(i64, i64), u64>,
     /// FIFO order of keys for index-capacity eviction.
     index_fifo: std::collections::VecDeque<(i64, i64)>,
     last_line: Option<u64>,
@@ -83,7 +86,7 @@ impl GhbPrefetcher {
         GhbPrefetcher {
             ring: vec![0; cfg.ghb_entries],
             head: 0,
-            index: HashMap::with_capacity(cfg.index_entries),
+            index: FxHashMap::with_capacity_and_hasher(cfg.index_entries, Default::default()),
             index_fifo: std::collections::VecDeque::with_capacity(cfg.index_entries),
             cfg,
             last_line: None,
@@ -177,6 +180,10 @@ impl Prefetcher for GhbPrefetcher {
 
     fn issued(&self) -> u64 {
         self.issued
+    }
+
+    fn box_clone(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
     }
 }
 

@@ -109,7 +109,7 @@ pub struct PropertyTarget {
 /// addresses — one per [`PropertyTarget`] — and the structure scan
 /// granularity, which lives in the [`FunctionalMemory`] implementation the
 /// workload provides.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mpp {
     cfg: MppConfig,
     /// Registers: the property arrays to prefetch per scanned neighbor ID.

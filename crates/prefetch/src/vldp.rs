@@ -6,7 +6,11 @@
 
 use crate::event::{AccessEvent, EventKind, PrefetchRequest, Prefetcher};
 use droplet_trace::{LINE_BYTES, PAGE_BYTES};
-use std::collections::HashMap;
+
+/// Upper bound on cascaded DPT levels, so delta histories and table keys
+/// live in fixed-size arrays instead of heap vectors. The paper uses 3
+/// levels; [`VldpPrefetcher::new`] rejects configurations beyond this.
+const MAX_LEVELS: usize = 4;
 
 /// VLDP parameters (paper Table V).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +40,103 @@ impl VldpConfig {
     }
 }
 
+/// A short delta sequence stored inline (≤ [`MAX_LEVELS`] entries). Unused
+/// tail slots are always zero, so whole-array equality and lexicographic
+/// comparison between histories of equal length match `Vec<i64>` semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct History {
+    d: [i64; MAX_LEVELS],
+    len: usize,
+}
+
+impl History {
+    /// Appends `delta`, dropping the oldest entry once `cap` is reached —
+    /// the `push` + `remove(0)` idiom of a bounded Vec, without the Vec.
+    fn push_capped(&mut self, delta: i64, cap: usize) {
+        if self.len == cap {
+            self.d.copy_within(1..self.len, 0);
+            self.d[self.len - 1] = delta;
+        } else {
+            self.d[self.len] = delta;
+            self.len += 1;
+        }
+    }
+
+    fn suffix(&self, len: usize) -> &[i64] {
+        &self.d[self.len - len..self.len]
+    }
+}
+
+/// One learned (history → next delta) association.
+#[derive(Debug, Clone, Copy)]
+struct DeltaEntry {
+    /// Key deltas, zero-padded past the table's fixed key length.
+    key: [i64; MAX_LEVELS],
+    next: i64,
+    lru: u64,
+}
+
+/// A bounded LRU map from delta histories to the next delta.
+///
+/// Every key in a table has the same length (the DPT cascade keys level
+/// `L` by histories of exactly `L` deltas), so the table is a flat array
+/// scanned linearly — the hardware-faithful shape, and much faster than
+/// hashing heap-allocated keys: no per-lookup allocation, no SipHash, and
+/// eviction is the same single pass that a lookup is.
+#[derive(Debug, Clone)]
+struct DeltaTable {
+    capacity: usize,
+    entries: Vec<DeltaEntry>,
+}
+
+impl DeltaTable {
+    fn new(capacity: usize) -> Self {
+        DeltaTable {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn pad(key: &[i64]) -> [i64; MAX_LEVELS] {
+        let mut k = [0i64; MAX_LEVELS];
+        k[..key.len()].copy_from_slice(key);
+        k
+    }
+
+    fn update(&mut self, key: &[i64], next: i64, clock: u64) {
+        let k = Self::pad(key);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == k) {
+            e.next = next;
+            e.lru = clock;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            // Tie-break equal LRU clocks on the key itself (deterministic
+            // victim regardless of insertion order).
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.lru.cmp(&b.lru).then_with(|| a.key.cmp(&b.key)))
+                .map(|(i, _)| i)
+                .expect("table is non-empty");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(DeltaEntry {
+            key: k,
+            next,
+            lru: clock,
+        });
+    }
+
+    fn predict(&mut self, key: &[i64], clock: u64) -> Option<i64> {
+        let k = Self::pad(key);
+        let e = self.entries.iter_mut().find(|e| e.key == k)?;
+        e.lru = clock;
+        Some(e.next)
+    }
+}
+
 /// Per-page delta history in the DRB.
 #[derive(Debug, Clone)]
 struct DrbEntry {
@@ -43,48 +144,9 @@ struct DrbEntry {
     last_offset: i64,
     first_offset: i64,
     /// Most recent deltas, oldest first (≤ `levels`).
-    history: Vec<i64>,
+    history: History,
     accesses: u64,
     lru: u64,
-}
-
-/// A bounded LRU map from delta histories to the next delta.
-#[derive(Debug, Clone)]
-struct DeltaTable {
-    capacity: usize,
-    map: HashMap<Vec<i64>, (i64, u64)>, // key -> (next delta, lru)
-}
-
-impl DeltaTable {
-    fn new(capacity: usize) -> Self {
-        DeltaTable {
-            capacity,
-            map: HashMap::with_capacity(capacity),
-        }
-    }
-
-    fn update(&mut self, key: &[i64], next: i64, clock: u64) {
-        if !self.map.contains_key(key) && self.map.len() == self.capacity {
-            // Tie-break equal LRU clocks on the key itself: `HashMap`
-            // iteration order is randomized per process, and letting it pick
-            // the victim makes whole-simulation results nondeterministic.
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by(|(ka, (_, la)), (kb, (_, lb))| la.cmp(lb).then_with(|| ka.cmp(kb)))
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&victim);
-            }
-        }
-        self.map.insert(key.to_vec(), (next, clock));
-    }
-
-    fn predict(&mut self, key: &[i64], clock: u64) -> Option<i64> {
-        let (next, lru) = self.map.get_mut(key)?;
-        *lru = clock;
-        Some(*next)
-    }
 }
 
 /// The VLDP engine.
@@ -123,11 +185,17 @@ impl VldpPrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if any table capacity or the level count is zero.
+    /// Panics if any table capacity or the level count is zero, or if
+    /// `levels` exceeds [`MAX_LEVELS`].
     pub fn new(cfg: VldpConfig) -> Self {
         assert!(
             cfg.drb_pages > 0 && cfg.opt_entries > 0 && cfg.dpt_entries > 0 && cfg.levels > 0,
             "degenerate VLDP config"
+        );
+        assert!(
+            cfg.levels <= MAX_LEVELS,
+            "VLDP levels {} exceeds MAX_LEVELS {MAX_LEVELS}",
+            cfg.levels
         );
         VldpPrefetcher {
             drb: Vec::with_capacity(cfg.drb_pages),
@@ -146,11 +214,10 @@ impl VldpPrefetcher {
     }
 
     /// Longest-history-first DPT lookup.
-    fn predict(&mut self, history: &[i64]) -> Option<i64> {
+    fn predict(&mut self, history: &History) -> Option<i64> {
         let clock = self.clock;
-        for len in (1..=history.len().min(self.cfg.levels)).rev() {
-            let key = &history[history.len() - len..];
-            if let Some(d) = self.dpt[len - 1].predict(key, clock) {
+        for len in (1..=history.len.min(self.cfg.levels)).rev() {
+            if let Some(d) = self.dpt[len - 1].predict(history.suffix(len), clock) {
                 return Some(d);
             }
         }
@@ -200,7 +267,7 @@ impl Prefetcher for VldpPrefetcher {
                     page,
                     last_offset: offset,
                     first_offset: offset,
-                    history: Vec::with_capacity(self.cfg.levels),
+                    history: History::default(),
                     accesses: 1,
                     lru: clock,
                 };
@@ -227,8 +294,7 @@ impl Prefetcher for VldpPrefetcher {
                     }
                     e.last_offset = offset;
                     e.accesses += 1;
-                    let h = e.history.clone();
-                    (e.first_offset, e.accesses, delta, h)
+                    (e.first_offset, e.accesses, delta, e.history)
                 };
 
                 // Second access trains the OPT for this first-offset class.
@@ -238,17 +304,13 @@ impl Prefetcher for VldpPrefetcher {
                 }
 
                 // Train every DPT with the observed history → delta pair.
-                for len in 1..=history.len().min(self.cfg.levels) {
-                    let key = history[history.len() - len..].to_vec();
-                    self.dpt[len - 1].update(&key, delta, clock);
+                for len in 1..=history.len.min(self.cfg.levels) {
+                    self.dpt[len - 1].update(history.suffix(len), delta, clock);
                 }
 
                 // Append the new delta to the page's history.
-                history.push(delta);
-                if history.len() > self.cfg.levels {
-                    history.remove(0);
-                }
-                self.drb[i].history = history.clone();
+                history.push_capped(delta, self.cfg.levels);
+                self.drb[i].history = history;
 
                 // Cascaded prediction: walk forward up to `degree` steps.
                 let mut cur = offset;
@@ -259,10 +321,7 @@ impl Prefetcher for VldpPrefetcher {
                     if !self.emit(page, cur, ev, out) {
                         break;
                     }
-                    h.push(d);
-                    if h.len() > self.cfg.levels {
-                        h.remove(0);
-                    }
+                    h.push_capped(d, self.cfg.levels);
                 }
             }
         }
@@ -274,6 +333,10 @@ impl Prefetcher for VldpPrefetcher {
 
     fn issued(&self) -> u64 {
         self.issued
+    }
+
+    fn box_clone(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
     }
 }
 

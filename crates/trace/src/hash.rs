@@ -1,0 +1,124 @@
+//! A fast, deterministic hasher for simulator-internal hash maps.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs real time on the hot
+//! demand path (it showed up at ~6% of `prefetch_study` wall time hashing
+//! GHB delta-pair keys). Simulator tables hash trusted, simulator-generated
+//! keys, so we trade the resistance for a multiply-xor mix (FxHash-style:
+//! the scheme rustc itself uses for its interner tables). The hash is a
+//! pure function of the written bytes — no per-process seed — so any map
+//! iteration order that leaks into results stays reproducible across runs.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc Fx hash: a 64-bit odd constant derived
+/// from π with good avalanche behavior under `rotate ^ mul`.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The per-map state: [`BuildHasherDefault`] over [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with the fast deterministic hasher plugged in.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Word-at-a-time multiply-xor hasher (FxHash scheme).
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Default for FxHasher {
+    /// Starts from a nonzero state so all-zero inputs of different lengths
+    /// hash differently (plain Fx maps them all to zero).
+    fn default() -> Self {
+        FxHasher { state: SEED }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" + "" and "a" + "b" differ.
+            self.mix(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(parts: &[u64]) -> u64 {
+        let mut h = FxHasher::default();
+        for &p in parts {
+            h.write_u64(p);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(hash_of(&[1, 2]), hash_of(&[1, 2]));
+        assert_ne!(hash_of(&[1, 2]), hash_of(&[2, 1]));
+        assert_ne!(hash_of(&[0]), hash_of(&[0, 0]));
+    }
+
+    #[test]
+    fn byte_writes_fold_length() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"a");
+        b.write(b"b");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(i64, i64), u64> = FxHashMap::default();
+        m.insert((3, -1), 7);
+        m.insert((-1, 3), 9);
+        assert_eq!(m.get(&(3, -1)), Some(&7));
+        assert_eq!(m.get(&(-1, 3)), Some(&9));
+        assert_eq!(m.len(), 2);
+    }
+}

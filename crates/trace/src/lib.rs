@@ -21,6 +21,7 @@
 
 pub mod addr;
 pub mod funcmem;
+pub mod hash;
 pub mod layout;
 pub mod op;
 pub mod page;
@@ -30,6 +31,7 @@ pub mod tracer;
 
 pub use addr::{PhysAddr, VirtAddr, LINE_BYTES, PAGE_BYTES};
 pub use funcmem::FunctionalMemory;
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use layout::{AddressSpace, ArrayRegion, Region, RegionId};
 pub use op::{AccessKind, Cycle, DataType, MemOp, OpId};
 pub use page::{PageEntry, PageTable};
