@@ -67,6 +67,120 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_columnar_roundtrip(c: &mut Criterion) {
+    use droplet::trace::columnar;
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Pr.trace(&g, 100_000);
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(bundle.ops.len() as u64));
+    group.bench_function("columnar_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = columnar::encode(&bundle.ops);
+            columnar::decode(&bytes)
+                .expect("fresh encode must decode")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+/// A deterministic graph-shaped event stream for the prefetcher hot-path
+/// benches: sequential structure runs interleaved with hashed property
+/// chases and hot-set reuse, over a page universe small enough to keep
+/// every engine's tables under replacement pressure.
+fn synth_events(n: usize) -> Vec<droplet::prefetch::AccessEvent> {
+    use droplet::prefetch::{AccessEvent, EventKind};
+    use droplet::trace::VirtAddr;
+    let mix = |x: u64| {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut events = Vec::with_capacity(n);
+    let mut line = 0u64;
+    for i in 0..n as u64 {
+        let r = mix(i);
+        let (l, structure) = match r % 8 {
+            // Sequential structure run inside an 8-page region.
+            0..=3 => {
+                line = (line + 1) % (8 * 64);
+                (line, true)
+            }
+            // Hashed property chase over 32 pages.
+            4..=5 => ((8 + (r >> 8) % 32) * 64 + (r >> 16) % 64, false),
+            // Hot-set reuse on 4 pages.
+            _ => ((8 + (r >> 8) % 4) * 64 + (r >> 16) % 64, false),
+        };
+        events.push(AccessEvent {
+            vaddr: VirtAddr::new(l * 64),
+            kind: if r % 11 == 0 {
+                EventKind::L2Hit
+            } else {
+                EventKind::L1Miss
+            },
+            is_structure: structure,
+            dtype: if structure {
+                DataType::Structure
+            } else {
+                DataType::Property
+            },
+        });
+    }
+    events
+}
+
+fn bench_prefetcher_hot_paths(c: &mut Criterion) {
+    use droplet::prefetch::{GhbPrefetcher, Prefetcher, StreamPrefetcher, VldpPrefetcher};
+    let events = synth_events(8192);
+    let cfg = SystemConfig::test_scale();
+
+    let mut group = c.benchmark_group("vldp");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("on_access", |b| {
+        b.iter(|| {
+            let mut pf = VldpPrefetcher::new(cfg.vldp.clone());
+            let mut out = Vec::with_capacity(16);
+            for ev in &events {
+                out.clear();
+                pf.on_access(ev, &mut out);
+            }
+            pf.issued()
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ghb");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("on_access", |b| {
+        b.iter(|| {
+            let mut pf = GhbPrefetcher::new(cfg.ghb.clone());
+            let mut out = Vec::with_capacity(16);
+            for ev in &events {
+                out.clear();
+                pf.on_access(ev, &mut out);
+            }
+            pf.issued()
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("stream");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("on_access", |b| {
+        b.iter(|| {
+            let mut pf = StreamPrefetcher::new(cfg.stream.clone());
+            let mut out = Vec::with_capacity(16);
+            for ev in &events {
+                out.clear();
+                pf.on_access(ev, &mut out);
+            }
+            pf.issued()
+        });
+    });
+    group.finish();
+}
+
 fn bench_system_replay(c: &mut Criterion) {
     let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
     let bundle = Algorithm::Pr.trace(&g, 100_000);
@@ -90,6 +204,8 @@ fn main() {
     bench_reuse_profiler(&mut c);
     bench_pag_scan(&mut c);
     bench_trace_generation(&mut c);
+    bench_columnar_roundtrip(&mut c);
+    bench_prefetcher_hot_paths(&mut c);
     bench_system_replay(&mut c);
 
     // Export µs/iter per micro bench to the cross-PR perf report.

@@ -8,12 +8,16 @@
 //!
 //! `run` simulates one workload under one configuration and prints the full
 //! report; `sweep` compares every evaluated prefetcher on one workload;
-//! `info` lists algorithms, datasets and configurations.
+//! `trace save`/`trace load` write and replay columnar trace artifacts
+//! (DESIGN.md §15); `info` lists algorithms, datasets and configurations.
 
 use droplet::experiments::ExperimentCtx;
 use droplet::obs::ObsConfig;
 use droplet::report::Table;
-use droplet::{run_sweep, run_workload, PrefetcherKind, RunResult, SweepCell, WorkloadSpec};
+use droplet::trace::{columnar, open_columnar, TraceSource};
+use droplet::{
+    run_sweep, run_workload, run_workload_from, PrefetcherKind, RunResult, SweepCell, WorkloadSpec,
+};
 use droplet_gap::Algorithm;
 use droplet_graph::{Dataset, DatasetScale, DegreeStats};
 use droplet_trace::DataType;
@@ -26,6 +30,10 @@ fn usage() -> ! {
          \x20                   [--obs <journal.jsonl>] [--epoch-ops <n>] [--fork-sweep|--no-fork]\n\
          \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>] [--threads <n>]\n\
          \x20                   [--fork-sweep|--no-fork]\n\
+         \x20 droplet-sim trace save --algo <...> --dataset <...> [--scale <...>] [--budget <ops>]\n\
+         \x20                   --trace-file <artifact.dcol>\n\
+         \x20 droplet-sim trace load --algo <...> --dataset <...> [--scale <...>] [--budget <ops>]\n\
+         \x20                   --trace-file <artifact.dcol> [--prefetcher <...>]\n\
          \x20 droplet-sim info\n\
          \x20 --threads overrides DROPLET_THREADS (default: all cores; 1 = fully serial)\n\
          \x20 --obs enables epoch sampling and writes the JSONL run journal there\n\
@@ -93,6 +101,7 @@ struct Args {
     obs_path: Option<String>,
     epoch_ops: Option<u64>,
     fork: Option<bool>,
+    trace_file: Option<String>,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -121,6 +130,7 @@ fn parse_flags(rest: &[String]) -> Args {
             "--threads" => args.threads = Some(value.parse().unwrap_or_else(|_| usage())),
             "--obs" => args.obs_path = Some(value.clone()),
             "--epoch-ops" => args.epoch_ops = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--trace-file" => args.trace_file = Some(value.clone()),
             _ => usage(),
         }
     }
@@ -202,16 +212,18 @@ fn report(label: &str, r: &RunResult) {
 }
 
 /// Writes the run journal as JSONL: a `{"manifest": …}` line (enriched
-/// with the workload label and thread count the library can't know), then
-/// one line per epoch.
-fn write_journal(path: &str, r: &RunResult, workload: &str, threads: usize) {
+/// with the workload label, thread count, and trace-cache occupancy the
+/// library can't know), then one line per epoch.
+fn write_journal(path: &str, r: &RunResult, workload: &str, ctx: &ExperimentCtx) {
     let Some(journal) = &r.journal else {
         eprintln!("no journal recorded (sampling was not enabled)");
         return;
     };
     let mut manifest = r.manifest.clone();
     manifest.workload = Some(workload.to_string());
-    manifest.threads = Some(threads);
+    manifest.threads = Some(ctx.pool.threads());
+    manifest.trace_cache_len = Some(ctx.traces.len() as u64);
+    manifest.trace_cache_bytes = Some(ctx.traces.resident_bytes());
     let text = format!(
         "{{\"manifest\": {}}}\n{}",
         manifest.render_json(),
@@ -241,11 +253,94 @@ fn cmd_info() {
     }
 }
 
+/// `trace save` / `trace load`: write a workload's op stream as a columnar
+/// artifact, or replay one zero-copy from its mapped bytes. Both rebuild
+/// the bundle (load needs the address space and functional memory, which
+/// the artifact deliberately does not carry); load verifies the artifact's
+/// content digest against the rebuilt ops before replaying.
+fn cmd_trace(sub: &str, args: &Args) {
+    let (Some(algo), Some(dataset)) = (args.algo, args.dataset) else {
+        usage()
+    };
+    let Some(file) = &args.trace_file else {
+        usage()
+    };
+    let scale = args.scale.unwrap_or(DatasetScale::Small);
+    let mut ctx = ExperimentCtx::at(scale);
+    if let Some(b) = args.budget {
+        ctx.budget = b;
+        ctx.warmup = (b / 4) as usize;
+    }
+    let spec = WorkloadSpec {
+        algorithm: algo,
+        dataset,
+        scale,
+    };
+    eprintln!("building {} at {scale:?} scale...", spec.label());
+    let bundle = ctx.trace(&spec);
+    match sub {
+        "save" => {
+            let encoded = columnar::encode(&bundle.ops);
+            let raw = bundle.ops.len() * std::mem::size_of::<droplet::trace::MemOp>();
+            if let Err(e) = std::fs::write(file, &encoded) {
+                eprintln!("cannot write {file}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "saved {} ops -> {file}: {} bytes ({:.2}x vs resident), digest {:016x}",
+                bundle.ops.len(),
+                encoded.len(),
+                raw as f64 / encoded.len().max(1) as f64,
+                columnar::content_digest(&bundle.ops)
+            );
+        }
+        "load" => {
+            let mut source = open_columnar(file.as_ref()).unwrap_or_else(|e| {
+                eprintln!("cannot open {file}: {e}");
+                std::process::exit(1);
+            });
+            let expect = columnar::content_digest(&bundle.ops);
+            if source.digest() != expect {
+                eprintln!(
+                    "artifact digest {:016x} does not match this workload's ops ({expect:016x}); \
+                     was it saved with the same --algo/--dataset/--scale/--budget?",
+                    source.digest()
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "replaying {} ops from {} ({})",
+                source.op_count(),
+                file,
+                if source.backing().is_mapped() {
+                    "mmap, zero-copy"
+                } else {
+                    "owned buffer fallback"
+                }
+            );
+            let kind = args.prefetcher.unwrap_or(PrefetcherKind::Droplet);
+            let cfg = if kind == PrefetcherKind::None {
+                ctx.base.clone()
+            } else {
+                ctx.base.with_prefetcher(kind)
+            };
+            let r = run_workload_from(&mut source, &bundle, &cfg, ctx.warmup);
+            report(&format!("{} (columnar replay)", kind.name()), &r);
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let Some(cmd) = argv.get(1) else { usage() };
     match cmd.as_str() {
         "info" => cmd_info(),
+        "trace" => {
+            let Some(sub) = argv.get(2) else { usage() };
+            let args = parse_flags(&argv[3..]);
+            cmd_trace(sub, &args);
+        }
         "run" | "sweep" => {
             let args = parse_flags(&argv[2..]);
             let (Some(algo), Some(dataset)) = (args.algo, args.dataset) else {
@@ -315,7 +410,7 @@ fn main() {
                     // Journal the configuration under test (the baseline
                     // when `--prefetcher none` made it the only run).
                     let r = main_run.as_ref().unwrap_or(&base);
-                    write_journal(path, r, &spec.label(), ctx.pool.threads());
+                    write_journal(path, r, &spec.label(), &ctx);
                 }
             } else {
                 let mut t = Table::new(vec![

@@ -11,9 +11,12 @@
 
 use crate::config::SystemConfig;
 use crate::pool::JobPool;
-use crate::system::{assemble_result, ForkMutation, RunResult, RunShape, System};
+use crate::system::{
+    assemble_result, feed_measure, feed_warmup, ForkMutation, RunResult, RunShape, System,
+};
 use droplet_cpu::CoreEngine;
 use droplet_gap::TraceBundle;
+use droplet_trace::{SliceSource, TraceSource};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -81,15 +84,26 @@ pub fn warm_snapshot(
     cfg: &SystemConfig,
     warmup_ops: usize,
 ) -> WarmupSnapshot {
-    let applied = warmup_ops.min(bundle.ops.len() / 2);
+    warm_snapshot_from(&mut SliceSource::new(&bundle.ops), bundle, cfg, warmup_ops)
+}
+
+/// [`warm_snapshot`] over an arbitrary [`TraceSource`]; see
+/// [`crate::run_workload_from`] for the source/bundle contract.
+pub fn warm_snapshot_from(
+    source: &mut dyn TraceSource,
+    bundle: &TraceBundle,
+    cfg: &SystemConfig,
+    warmup_ops: usize,
+) -> WarmupSnapshot {
+    let applied = (warmup_ops as u64).min(source.op_count() / 2);
     let mut engine = CoreEngine::new(cfg.core);
     let mut system = System::new(cfg.clone(), bundle);
-    engine.warmup(&bundle.ops[..applied], &mut system);
+    feed_warmup(&mut engine, source, &mut system, applied);
     WarmupSnapshot {
         system: system.snapshot(),
         core: engine,
         requested: warmup_ops as u64,
-        applied: applied as u64,
+        applied,
     }
 }
 
@@ -102,15 +116,28 @@ pub fn warm_snapshot(
 /// Panics if `cfg` differs from the snapshot's parent on a warmup-relevant
 /// field (see [`SystemConfig::warmup_key`]).
 pub fn run_forked(bundle: &TraceBundle, snap: &WarmupSnapshot, cfg: &SystemConfig) -> RunResult {
+    run_forked_from(&mut SliceSource::new(&bundle.ops), bundle, snap, cfg)
+}
+
+/// [`run_forked`] over an arbitrary [`TraceSource`]; see
+/// [`crate::run_workload_from`] for the source/bundle contract.
+pub fn run_forked_from(
+    source: &mut dyn TraceSource,
+    bundle: &TraceBundle,
+    snap: &WarmupSnapshot,
+    cfg: &SystemConfig,
+) -> RunResult {
     let wall = std::time::Instant::now();
+    let total = source.op_count();
     let (mut system, mut engine) = snap.resume(cfg, bundle);
-    let core_result = engine.measure(&bundle.ops[snap.applied as usize..], &mut system);
+    let core_result = feed_measure(&mut engine, source, &mut system, snap.applied, total);
     assemble_result(
         system,
         core_result,
         RunShape {
             warmup_requested: snap.requested,
             warmup_applied: snap.applied,
+            trace_ops: total,
             forked_from: Some(snap.parent_config_hash()),
             warmup_shared: Some(snap.applied),
         },

@@ -42,10 +42,14 @@ pub mod trace_cache;
 
 pub use config::{PrefetcherKind, SystemConfig};
 pub use datasets::WorkloadSpec;
-pub use fork::{run_forked, run_sweep, warm_snapshot, SweepCell, WarmupSnapshot};
+pub use fork::{
+    run_forked, run_forked_from, run_sweep, warm_snapshot, warm_snapshot_from, SweepCell,
+    WarmupSnapshot,
+};
 pub use pool::JobPool;
 pub use system::{
-    run_workload, ForkMutation, RunResult, System, SystemProbe, SystemSnapshot, SystemStats,
+    run_workload, run_workload_from, ForkMutation, RunResult, System, SystemProbe, SystemSnapshot,
+    SystemStats,
 };
 pub use trace_cache::TraceCache;
 

@@ -6,7 +6,7 @@
 
 use crate::config::{PrefetcherKind, SystemConfig};
 use droplet_cache::{CacheStats, FillInfo, SetAssocCache, TypedCounter};
-use droplet_cpu::{AccessResponse, CoreResult, CoreSim, MemorySystem, MshrFile, ServiceLevel};
+use droplet_cpu::{AccessResponse, CoreEngine, CoreResult, MemorySystem, MshrFile, ServiceLevel};
 use droplet_gap::TraceBundle;
 use droplet_mem::{Dram, DramStats, Mrb, MrbEntry};
 use droplet_obs::{fnv1a, ObsRecorder, ObsSnapshot, RunJournal, RunManifest};
@@ -15,7 +15,8 @@ use droplet_prefetch::{
     Prefetcher, StreamPrefetcher, VldpPrefetcher,
 };
 use droplet_trace::{
-    Cycle, DataType, MemOp, OpId, PageEntry, PageTable, Tlb, VirtAddr, PAGE_BYTES,
+    Cycle, DataType, FxHashMap, MemOp, OpId, PageEntry, PageTable, SliceSource, Tlb, TraceSource,
+    VirtAddr, LINES_PER_PAGE, PAGE_BYTES,
 };
 
 /// Orchestration-level statistics not owned by any single component.
@@ -58,6 +59,10 @@ impl SystemStats {
     }
 }
 
+/// One `pf_page_memo` entry: `(data type, page entry, region-end address)`,
+/// or `None` for pages outside every region.
+type PagePfMemo = Option<(DataType, PageEntry, u64)>;
+
 /// The simulated system; implements [`MemorySystem`] for the core model.
 pub struct System<'a> {
     cfg: SystemConfig,
@@ -84,6 +89,17 @@ pub struct System<'a> {
     /// DTLB's MRU entry, so the skipped touch could not have changed the
     /// eviction order, and translations are immutable once created.
     same_page: Option<(u64, PageEntry)>,
+    /// Per-page translation memo for the prefetch request path: vpn →
+    /// `(data type, page entry, region-end address)`, or `None` for pages
+    /// outside every region. Regions have page-aligned bases and guard
+    /// pages, so a page serves at most one region and one data type — but
+    /// a region's *last* page is only mapped up to `region.end()`, which
+    /// the third field records so tail lines past it still drop as
+    /// unmapped. A pure cache over immutable mappings: rebuilt empty on
+    /// fork rather than snapshotted, and never consulted on the demand
+    /// path (which has its own DTLB + `same_page` memo and must count
+    /// walks).
+    pf_page_memo: FxHashMap<u64, PagePfMemo>,
     /// Demand-promotion latency cap; derived from `cfg` only, computed once.
     promote_budget: Cycle,
     /// Probing controller for the adaptive DROPLET extension.
@@ -157,6 +173,7 @@ impl<'a> System<'a> {
             mpp_buf: Vec::with_capacity(64),
             mshr: MshrFile::new(cfg_mshrs),
             same_page: None,
+            pf_page_memo: FxHashMap::default(),
             adaptive: adaptive_state,
             obs,
             warmup_boundary: 0,
@@ -275,6 +292,7 @@ impl<'a> System<'a> {
             mpp_buf: Vec::with_capacity(64),
             mshr: snap.mshr.clone(),
             same_page,
+            pf_page_memo: FxHashMap::default(),
             adaptive,
             obs: cfg.obs.map(|c| Box::new(ObsRecorder::new(c))),
             warmup_boundary: snap.warmup_boundary,
@@ -357,20 +375,49 @@ impl<'a> System<'a> {
 
     /// Processes core-side prefetch requests produced on the demand path.
     fn process_prefetch_requests(&mut self, now: Cycle) {
+        if self.pf_buf.is_empty() {
+            return;
+        }
         let reqs = std::mem::take(&mut self.pf_buf);
+        let mono = self.cfg.prefetcher.monolithic_l1();
+        // Requests in one batch cluster on a page (a degree-k engine emits k
+        // lines from one trigger), so a one-entry memo in front of the page
+        // map catches most of them.
+        let mut last: Option<(u64, PagePfMemo)> = None;
         for req in &reqs {
             let vaddr = VirtAddr::new(req.vline * droplet_trace::LINE_BYTES);
-            let Some(dtype) = self.bundle.space.data_type(vaddr) else {
+            let vpn = req.vline / LINES_PER_PAGE;
+            let translated = match last {
+                Some((memo_vpn, memo)) if memo_vpn == vpn => memo,
+                _ => {
+                    let looked_up = match self.pf_page_memo.get(&vpn) {
+                        Some(&memo) => memo,
+                        None => {
+                            let page_base = VirtAddr::new(vpn * PAGE_BYTES);
+                            let fresh = self.bundle.space.region_of(page_base).and_then(|region| {
+                                self.page_table
+                                    .lookup(page_base)
+                                    .map(|entry| (region.dtype(), entry, region.end().raw()))
+                            });
+                            self.pf_page_memo.insert(vpn, fresh);
+                            fresh
+                        }
+                    };
+                    last = Some((vpn, looked_up));
+                    looked_up
+                }
+            };
+            let Some((dtype, entry, mapped_until)) = translated else {
                 self.stats.prefetch_unmapped_drops += 1;
                 continue;
             };
-            let Some(entry) = self.page_table.lookup(vaddr) else {
+            if vaddr.raw() >= mapped_until {
+                // Tail of the region's last page: allocated page, unmapped bytes.
                 self.stats.prefetch_unmapped_drops += 1;
                 continue;
-            };
+            }
             let pline =
                 (entry.frame * PAGE_BYTES + vaddr.page_offset()) / droplet_trace::LINE_BYTES;
-            let mono = self.cfg.prefetcher.monolithic_l1();
 
             // Redundant if already resident at the fill destination.
             let resident = if mono {
@@ -393,7 +440,10 @@ impl<'a> System<'a> {
                     l2.fill(pline, FillInfo::prefetch(dtype, ready));
                 }
                 if mono {
-                    self.l1.fill(pline, FillInfo::prefetch(dtype, ready));
+                    // The L1 copy carries the accuracy bit that gates the
+                    // demand hit path's L3 tag probe.
+                    self.l1
+                        .fill(pline, FillInfo::prefetch(dtype, ready).tracked());
                 }
                 continue;
             }
@@ -422,7 +472,7 @@ impl<'a> System<'a> {
             }
             if mono {
                 self.l1
-                    .fill(pline, FillInfo::prefetch(dtype, resp.complete_at));
+                    .fill(pline, FillInfo::prefetch(dtype, resp.complete_at).tracked());
             }
         }
         self.pf_buf = reqs;
@@ -433,9 +483,8 @@ impl<'a> System<'a> {
     /// structure prefetch arrivals (Fig. 8 ❷ → ❸).
     fn drain_mrb(&mut self, now: Cycle) {
         if self.mpp.is_none() {
-            if !self.mrb.is_empty() {
-                let _ = self.mrb.drain_completed(now);
-            }
+            // No MPP to notify: completions only free buffer capacity.
+            self.mrb.discard_completed(now);
             return;
         }
         let done = self.mrb.drain_completed(now);
@@ -502,7 +551,7 @@ impl<'a> System<'a> {
                 }
                 if mono {
                     self.l1
-                        .fill(pl, FillInfo::prefetch(DataType::Property, ready));
+                        .fill(pl, FillInfo::prefetch(DataType::Property, ready).tracked());
                 }
                 self.stats.mpp_copied_from_llc += 1;
             } else {
@@ -516,8 +565,10 @@ impl<'a> System<'a> {
                     l2.fill(pl, FillInfo::prefetch(DataType::Property, resp.complete_at));
                 }
                 if mono {
-                    self.l1
-                        .fill(pl, FillInfo::prefetch(DataType::Property, resp.complete_at));
+                    self.l1.fill(
+                        pl,
+                        FillInfo::prefetch(DataType::Property, resp.complete_at).tracked(),
+                    );
                 }
             }
         }
@@ -801,33 +852,49 @@ impl System<'_> {
         let is_structure = entry.structure;
         let mono = self.cfg.prefetcher.monolithic_l1();
 
-        // Settle prefetch-accuracy tracking: a demand access to a tracked
-        // line means the prefetch was useful. The tag lives in the L3 line
-        // itself; `take_tracked` is an O(ways) probe gated by an O(1)
-        // any-tags check, with no hashing.
-        if let Some(dt) = self.l3.take_tracked(pl) {
-            self.stats.prefetch_useful.bump(dt);
-        }
-
         let promote = self.promote_budget;
 
         // --- L1 ---
         if let Some(hit) = self.l1.touch(pl, t0, dtype, is_store) {
             let complete = (hit.ready_at.max(t0) + self.cfg.l1.data_latency).min(t0 + promote);
-            if mono && is_structure {
-                // The monolithic L1 streamer also sees its hits as feedback.
-                self.feed_prefetcher(AccessEvent {
-                    vaddr,
-                    kind: EventKind::L2Hit,
-                    is_structure,
-                    dtype,
-                });
-                self.process_prefetch_requests(now);
+            if mono {
+                // Only the monolithic-L1 variants fill prefetches into the
+                // L1, so only their hits can be the first demand touch of a
+                // tracked line. The L1 copy carries its own accuracy bit
+                // (set by the same fills that tag the L3), so the common
+                // case stays inside the set the touch above just warmed and
+                // the cold L3 tag probe runs only when the bit is present.
+                if self.l1.take_tracked(pl).is_some() {
+                    if let Some(dt) = self.l3.take_tracked(pl) {
+                        self.stats.prefetch_useful.bump(dt);
+                    }
+                }
+                if is_structure {
+                    // The monolithic L1 streamer also sees its hits as
+                    // feedback.
+                    self.feed_prefetcher(AccessEvent {
+                        vaddr,
+                        kind: EventKind::L2Hit,
+                        is_structure,
+                        dtype,
+                    });
+                    self.process_prefetch_requests(now);
+                }
             }
             return AccessResponse {
                 complete_at: complete,
                 level: ServiceLevel::L1,
             };
+        }
+
+        // Settle prefetch-accuracy tracking: the first demand touch of a
+        // tracked line means the prefetch was useful. For everyone but the
+        // monolithic-L1 variants prefetch fills stop at the L2, so that
+        // first touch always lands here on the L1-miss path (hits skip the
+        // probe entirely); the monolithic case still needs it for lines
+        // whose L1 copy was evicted while the L3 tag stayed alive.
+        if let Some(dt) = self.l3.take_tracked(pl) {
+            self.stats.prefetch_useful.bump(dt);
         }
 
         // L1 miss: the miss address (with its TLB structure bit) enters the
@@ -1136,17 +1203,42 @@ fn config_hash(cfg: &SystemConfig) -> u64 {
 ///
 /// See the crate-level example.
 pub fn run_workload(bundle: &TraceBundle, cfg: &SystemConfig, warmup_ops: usize) -> RunResult {
+    run_workload_from(&mut SliceSource::new(&bundle.ops), bundle, cfg, warmup_ops)
+}
+
+/// [`run_workload`] over an arbitrary [`TraceSource`] — the zero-copy
+/// replay path. `source` supplies the op stream (e.g. a block-decoded
+/// columnar artifact, see [`droplet_trace::ColumnarSource`]); `bundle`
+/// still supplies everything the system needs besides the ops themselves
+/// (address space, functional memory, property layout). The source must
+/// carry the same op stream as `bundle` was built with — replaying a
+/// different stream against mismatched functional memory is not detected
+/// here; [`droplet_trace::ColumnarSource::digest`] exists so callers can
+/// check before replaying.
+///
+/// Results are bit-identical to [`run_workload`]: both drive the same
+/// chunk-resumable engine, and the engine's state is a pure function of
+/// the ops applied so far, independent of chunking.
+pub fn run_workload_from(
+    source: &mut dyn TraceSource,
+    bundle: &TraceBundle,
+    cfg: &SystemConfig,
+    warmup_ops: usize,
+) -> RunResult {
     let wall = std::time::Instant::now();
-    let core = CoreSim::new(cfg.core);
+    let total = source.op_count();
+    let mut engine = CoreEngine::new(cfg.core);
     let mut system = System::new(cfg.clone(), bundle);
-    let applied = warmup_ops.min(bundle.ops.len() / 2);
-    let core_result = core.run(&bundle.ops, &mut system, applied);
+    let applied = (warmup_ops as u64).min(total / 2);
+    feed_warmup(&mut engine, source, &mut system, applied);
+    let core_result = feed_measure(&mut engine, source, &mut system, applied, total);
     assemble_result(
         system,
         core_result,
         RunShape {
             warmup_requested: warmup_ops as u64,
-            warmup_applied: applied as u64,
+            warmup_applied: applied,
+            trace_ops: total,
             forked_from: None,
             warmup_shared: None,
         },
@@ -1154,10 +1246,52 @@ pub fn run_workload(bundle: &TraceBundle, cfg: &SystemConfig, warmup_ops: usize)
     )
 }
 
+/// Streams `[0, until)` from `source` into the engine's warm-up span.
+pub(crate) fn feed_warmup(
+    engine: &mut CoreEngine,
+    source: &mut dyn TraceSource,
+    system: &mut System<'_>,
+    until: u64,
+) {
+    let mut pos = 0u64;
+    while pos < until {
+        let want = usize::try_from(until - pos).unwrap_or(usize::MAX);
+        let run = source.fetch(pos, want);
+        if run.is_empty() {
+            break; // source shorter than promised; nothing left to feed
+        }
+        engine.warmup(run, system);
+        pos += run.len() as u64;
+    }
+}
+
+/// Opens the measurement window and streams `[from, total)` through it.
+pub(crate) fn feed_measure(
+    engine: &mut CoreEngine,
+    source: &mut dyn TraceSource,
+    system: &mut System<'_>,
+    from: u64,
+    total: u64,
+) -> CoreResult {
+    let mut m = engine.open_window(system);
+    let mut pos = from;
+    while pos < total {
+        let run = source.fetch(pos, usize::MAX);
+        if run.is_empty() {
+            break;
+        }
+        engine.measure_chunk(run, system, &mut m);
+        pos += run.len() as u64;
+    }
+    engine.finish(m)
+}
+
 /// How a finished run came to be: warm-up accounting plus fork lineage.
 pub(crate) struct RunShape {
     pub warmup_requested: u64,
     pub warmup_applied: u64,
+    /// Ops in the replayed trace (the source's count, not the bundle's).
+    pub trace_ops: u64,
     /// Parent snapshot's config hash, for forked runs.
     pub forked_from: Option<u64>,
     /// Inherited warm-up op count, for forked runs.
@@ -1178,7 +1312,7 @@ pub(crate) fn assemble_result(
     let boundary = system.warmup_boundary;
     let config_hash = config_hash(cfg);
     let prefetcher = cfg.prefetcher.name().to_string();
-    let trace_ops = system.bundle.ops.len() as u64;
+    let trace_ops = shape.trace_ops;
     let epoch_ops = cfg.obs.map(|o| o.epoch_ops);
     let prefetch_home_is_l1 = cfg.prefetcher.monolithic_l1();
     let journal = system.take_journal(boundary + core_result.cycles);
@@ -1200,6 +1334,10 @@ pub(crate) fn assemble_result(
         wall_ms: wall.elapsed().as_secs_f64() * 1000.0,
         forked_from: shape.forked_from,
         warmup_shared: shape.warmup_shared,
+        // Driver-level context the library can't see; drivers that run a
+        // trace cache fill these in before journaling.
+        trace_cache_len: None,
+        trace_cache_bytes: None,
     };
     RunResult {
         core: core_result,

@@ -10,45 +10,241 @@
 //! Graphs themselves are additionally cached one layer down (see
 //! [`crate::datasets`]), so a cache miss here only pays for the trace walk,
 //! not graph generation.
+//!
+//! # Byte budget and spill-to-disk
+//!
+//! A cache built with [`TraceCache::with_byte_budget`] bounds the resident
+//! op memory: when the summed `ops` bytes of resident bundles exceed the
+//! budget, the least-recently-used bundles have their op streams encoded
+//! into columnar artifacts (see `droplet_trace::columnar`, DESIGN.md §15)
+//! in the spill directory, content-addressed by the FNV-1a hash of their
+//! `(workload, budget)` key, and the in-memory ops are dropped. Everything
+//! else in the bundle (address space, functional memory, property layout)
+//! is kept as a skeleton — it is small and cannot be rebuilt from the op
+//! stream. A later request decodes the artifact back (the codec verifies
+//! its content digest) and re-residents the bundle, so spilling never
+//! changes results, only memory and reload latency.
 
 use crate::datasets::WorkloadSpec;
 use droplet_gap::TraceBundle;
+use droplet_obs::fnv1a;
+use droplet_trace::columnar;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 type Key = (WorkloadSpec, u64);
 
-/// The once-per-key build cell: cloned out of the map so the map lock is
-/// never held across a trace build.
-type Cell = Arc<OnceLock<Arc<TraceBundle>>>;
+/// One cached trace. `Empty` exists only between cell creation and first
+/// build; `Spilled` keeps the bundle minus its ops plus the artifact path.
+enum Slot {
+    Empty,
+    Resident(Arc<TraceBundle>),
+    Spilled {
+        /// The bundle with `ops` emptied — everything replay needs besides
+        /// the op stream itself.
+        skeleton: Arc<TraceBundle>,
+        path: PathBuf,
+    },
+}
+
+/// The per-key cell: its own mutex so concurrent requesters of the *same*
+/// bundle serialize on one build/reload while requesters of *different*
+/// bundles proceed — the outer map lock is only held to look up the cell,
+/// never during a build, encode, or decode.
+type Cell = Arc<Mutex<Slot>>;
+
+/// Resident-set accounting: ops bytes and an LRU stamp per resident key.
+struct Accounting {
+    clock: u64,
+    resident: HashMap<Key, (u64, u64)>, // key -> (ops bytes, last-use stamp)
+}
+
+/// Spill policy; `None` budget means never spill (the default).
+struct Policy {
+    budget_bytes: Option<u64>,
+    spill_dir: Option<PathBuf>,
+}
 
 /// A shareable trace cache; clones share the same underlying store.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TraceCache {
-    // Per-key OnceLock so concurrent requesters of the *same* bundle block
-    // on one build while requesters of *different* bundles proceed — the
-    // outer map lock is only held to look up the cell, never during a build.
     entries: Arc<Mutex<HashMap<Key, Cell>>>,
+    accounting: Arc<Mutex<Accounting>>,
+    policy: Arc<Policy>,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache {
+            entries: Arc::default(),
+            accounting: Arc::new(Mutex::new(Accounting {
+                clock: 0,
+                resident: HashMap::new(),
+            })),
+            policy: Arc::new(Policy {
+                budget_bytes: None,
+                spill_dir: None,
+            }),
+        }
+    }
+}
+
+/// The artifact file name for a cache key: FNV-1a over the key's debug
+/// rendering (workload spec + budget are the full identity of a trace).
+fn artifact_name(key: &Key) -> String {
+    format!(
+        "{:016x}.dcol",
+        fnv1a(format!("{:?}|{}", key.0, key.1).as_bytes())
+    )
+}
+
+fn ops_bytes(bundle: &TraceBundle) -> u64 {
+    (bundle.ops.len() * std::mem::size_of::<droplet_trace::MemOp>()) as u64
 }
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (nothing ever spills).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The bundle for `(spec, budget)`, building it on first request.
-    pub fn get_or_build(&self, spec: WorkloadSpec, budget: u64) -> Arc<TraceBundle> {
-        let cell = {
-            let mut map = self.entries.lock().expect("trace cache poisoned");
-            map.entry((spec, budget)).or_default().clone()
-        };
-        cell.get_or_init(|| Arc::new(spec.build_trace_with_budget(budget)))
-            .clone()
+    /// An empty cache that keeps at most `budget_bytes` of resident trace
+    /// ops, spilling least-recently-used bundles to columnar artifacts
+    /// under `spill_dir` (created on first spill).
+    pub fn with_byte_budget(budget_bytes: u64, spill_dir: impl Into<PathBuf>) -> Self {
+        TraceCache {
+            policy: Arc::new(Policy {
+                budget_bytes: Some(budget_bytes),
+                spill_dir: Some(spill_dir.into()),
+            }),
+            ..Self::default()
+        }
     }
 
-    /// How many bundles are resident (counting in-flight builds).
+    /// The bundle for `(spec, budget)`, building it on first request and
+    /// reloading it from its spill artifact if it was evicted.
+    pub fn get_or_build(&self, spec: WorkloadSpec, budget: u64) -> Arc<TraceBundle> {
+        let key = (spec, budget);
+        let cell = {
+            let mut map = self.entries.lock().expect("trace cache poisoned");
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Mutex::new(Slot::Empty)))
+                .clone()
+        };
+        let mut slot = cell.lock().expect("trace cache cell poisoned");
+        let bundle = match &*slot {
+            Slot::Resident(b) => Arc::clone(b),
+            Slot::Spilled { skeleton, path } => {
+                let bytes = droplet_trace::MappedFile::open(path)
+                    .unwrap_or_else(|e| panic!("spilled trace {} unreadable: {e}", path.display()));
+                // `decode` re-verifies the artifact's content digest, so a
+                // rotted spill file fails loudly instead of replaying wrong.
+                let ops = columnar::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("spilled trace {} corrupt: {e}", path.display()));
+                let mut b = (**skeleton).clone();
+                b.ops = ops;
+                let b = Arc::new(b);
+                *slot = Slot::Resident(Arc::clone(&b));
+                b
+            }
+            Slot::Empty => {
+                let b = Arc::new(spec.build_trace_with_budget(budget));
+                *slot = Slot::Resident(Arc::clone(&b));
+                b
+            }
+        };
+        drop(slot);
+        self.note_use(key, &bundle);
+        bundle
+    }
+
+    /// Stamps `key` most-recently-used, accounts its bytes, and spills LRU
+    /// entries if the resident set now exceeds the budget.
+    fn note_use(&self, key: Key, bundle: &TraceBundle) {
+        let victims = {
+            let mut acc = self.accounting.lock().expect("trace cache poisoned");
+            acc.clock += 1;
+            let stamp = acc.clock;
+            acc.resident.insert(key, (ops_bytes(bundle), stamp));
+            let Some(budget) = self.policy.budget_bytes else {
+                return;
+            };
+            let mut total: u64 = acc.resident.values().map(|(b, _)| b).sum();
+            // Oldest-first victim list, never the entry just used: even a
+            // budget of zero keeps the working bundle resident.
+            let mut by_age: Vec<(Key, u64, u64)> = acc
+                .resident
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .map(|(k, (b, s))| (*k, *b, *s))
+                .collect();
+            by_age.sort_by_key(|&(_, _, s)| s);
+            let mut victims = Vec::new();
+            for (k, b, _) in by_age {
+                if total <= budget {
+                    break;
+                }
+                total -= b;
+                acc.resident.remove(&k);
+                victims.push(k);
+            }
+            victims
+        };
+        // Spill outside the accounting lock: encode+write can be slow, and
+        // each victim's own cell mutex serializes against concurrent reloads.
+        for victim in victims {
+            if let Some(still_resident_bytes) = self.spill(victim) {
+                // Spill failed (unwritable spill dir): the bundle stays in
+                // memory, so put it back in the books as the coldest entry.
+                let mut acc = self.accounting.lock().expect("trace cache poisoned");
+                acc.resident
+                    .entry(victim)
+                    .or_insert((still_resident_bytes, 0));
+            }
+        }
+    }
+
+    /// Encodes `key`'s resident ops to its columnar artifact and drops them
+    /// from memory. A no-op if the entry is gone or already spilled (a racing
+    /// user may have reloaded it — then it is simply resident and re-counted).
+    /// Returns the still-resident byte count when the spill could not be
+    /// written, `None` on success or no-op.
+    fn spill(&self, key: Key) -> Option<u64> {
+        let dir = self.policy.spill_dir.as_ref().expect("spill without dir");
+        let cell = {
+            let map = self.entries.lock().expect("trace cache poisoned");
+            match map.get(&key) {
+                Some(c) => Arc::clone(c),
+                None => return None,
+            }
+        };
+        let mut slot = cell.lock().expect("trace cache cell poisoned");
+        let Slot::Resident(bundle) = &*slot else {
+            return None;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return Some(ops_bytes(bundle));
+        }
+        let path = dir.join(artifact_name(&key));
+        let encoded = columnar::encode(&bundle.ops);
+        // Write-then-rename so a crash mid-write never leaves a torn
+        // artifact under the content-addressed name.
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, &encoded).is_err() || std::fs::rename(&tmp, &path).is_err() {
+            return Some(ops_bytes(bundle));
+        }
+        let mut skeleton = (**bundle).clone();
+        skeleton.ops = Vec::new();
+        *slot = Slot::Spilled {
+            skeleton: Arc::new(skeleton),
+            path,
+        };
+        None
+    }
+
+    /// How many bundles are tracked (resident + spilled + in-flight builds).
     pub fn len(&self) -> usize {
         self.entries.lock().expect("trace cache poisoned").len()
     }
@@ -58,9 +254,37 @@ impl TraceCache {
         self.len() == 0
     }
 
+    /// Summed `ops` bytes of the resident (non-spilled) bundles.
+    pub fn resident_bytes(&self) -> u64 {
+        self.accounting
+            .lock()
+            .expect("trace cache poisoned")
+            .resident
+            .values()
+            .map(|(b, _)| b)
+            .sum()
+    }
+
+    /// How many tracked bundles are currently spilled to disk.
+    pub fn spilled_len(&self) -> usize {
+        let map = self.entries.lock().expect("trace cache poisoned");
+        map.values()
+            .filter(|c| {
+                matches!(
+                    &*c.lock().expect("trace cache cell poisoned"),
+                    Slot::Spilled { .. }
+                )
+            })
+            .count()
+    }
+
     /// Drops every cached bundle (frees memory between experiment suites).
+    /// Spill artifacts on disk are left behind; a rebuilt entry overwrites
+    /// its artifact on the next spill.
     pub fn clear(&self) {
         self.entries.lock().expect("trace cache poisoned").clear();
+        let mut acc = self.accounting.lock().expect("trace cache poisoned");
+        acc.resident.clear();
     }
 }
 
@@ -68,6 +292,7 @@ impl fmt::Debug for TraceCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TraceCache")
             .field("entries", &self.len())
+            .field("resident_bytes", &self.resident_bytes())
             .finish()
     }
 }
@@ -85,6 +310,18 @@ mod tests {
             dataset: Dataset::Kron,
             scale: DatasetScale::Tiny,
         }
+    }
+
+    fn spec2() -> WorkloadSpec {
+        WorkloadSpec {
+            algorithm: Algorithm::Cc,
+            dataset: Dataset::Kron,
+            scale: DatasetScale::Tiny,
+        }
+    }
+
+    fn temp_spill_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("droplet-spill-{tag}-{}", std::process::id()))
     }
 
     #[test]
@@ -130,5 +367,58 @@ mod tests {
         );
         assert_eq!(cache.len(), 1);
         assert!(bundles.iter().all(|b| Arc::ptr_eq(b, &bundles[0])));
+    }
+
+    #[test]
+    fn unbounded_cache_never_spills() {
+        let cache = TraceCache::new();
+        let _ = cache.get_or_build(spec(), 30_000);
+        let _ = cache.get_or_build(spec2(), 30_000);
+        assert_eq!(cache.spilled_len(), 0);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn over_budget_spills_lru_and_reload_is_identical() {
+        let dir = temp_spill_dir("lru");
+        // Budget of 1 byte: any second resident bundle evicts the first.
+        let cache = TraceCache::with_byte_budget(1, &dir);
+        let a = cache.get_or_build(spec(), 30_000);
+        assert_eq!(cache.spilled_len(), 0, "just-used entry never spills");
+        let _b = cache.get_or_build(spec2(), 30_000);
+        assert_eq!(cache.spilled_len(), 1, "LRU entry spilled");
+        assert_eq!(cache.len(), 2, "spilled entries stay tracked");
+
+        // Reload: ops decode bit-exact from the artifact, everything else
+        // comes from the retained skeleton.
+        let a2 = cache.get_or_build(spec(), 30_000);
+        assert!(!Arc::ptr_eq(&a, &a2), "reload is a new allocation");
+        assert_eq!(a.ops, a2.ops);
+        assert_eq!(a.instructions, a2.instructions);
+        assert_eq!(a.digest, a2.digest);
+        assert_eq!(a.property_base, a2.property_base);
+        // Reloading a pushed the other entry out in turn.
+        assert_eq!(cache.spilled_len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_fitting_both_keeps_both_resident() {
+        let dir = temp_spill_dir("fit");
+        let cache = TraceCache::with_byte_budget(u64::MAX, &dir);
+        let _ = cache.get_or_build(spec(), 30_000);
+        let _ = cache.get_or_build(spec2(), 30_000);
+        assert_eq!(cache.spilled_len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_bytes_tracks_ops_footprint() {
+        let cache = TraceCache::new();
+        let a = cache.get_or_build(spec(), 30_000);
+        assert_eq!(
+            cache.resident_bytes(),
+            (a.ops.len() * std::mem::size_of::<droplet_trace::MemOp>()) as u64
+        );
     }
 }

@@ -407,6 +407,65 @@ fn forked_runs_digest_identically_to_full_replay() {
     }
 }
 
+/// Zero-copy replay must be invisible: replaying a workload from its
+/// mmap'd columnar artifact (DESIGN.md §15) digests bit-identically to the
+/// in-RAM `Vec<MemOp>` replay, for every bench configuration, on one
+/// worker and on four. The chunked [`droplet::run_workload_from`] path and
+/// the monolithic path drive the same engine, so any divergence here means
+/// the codec or the chunking changed simulated behaviour.
+#[test]
+fn columnar_mmap_replay_digests_match_in_ram_replay() {
+    use droplet::run_workload_from;
+    use droplet::trace::{columnar, open_columnar};
+
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Arc::new(Algorithm::Pr.trace(&g, 120_000));
+    let cfg = SystemConfig::test_scale();
+    let warmup = 5_000;
+
+    let dir = std::env::temp_dir().join(format!("droplet-colrep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pr-kron.dcol");
+    std::fs::write(&path, columnar::encode(&bundle.ops)).unwrap();
+
+    let in_ram: Vec<u64> = KINDS
+        .iter()
+        .map(|&k| digest(&run_workload(&bundle, &cfg.with_prefetcher(k), warmup)))
+        .collect();
+
+    for threads in [1usize, 4] {
+        let replayed: Vec<u64> = JobPool::with_threads(threads).run(
+            KINDS
+                .iter()
+                .map(|&k| {
+                    let bundle = Arc::clone(&bundle);
+                    let cfg = cfg.with_prefetcher(k);
+                    let path = path.clone();
+                    move || {
+                        let mut source = open_columnar(&path).expect("artifact must open");
+                        assert_eq!(
+                            source.digest(),
+                            columnar::content_digest(&bundle.ops),
+                            "artifact content digest must match the ops it encodes"
+                        );
+                        digest(&run_workload_from(&mut source, &bundle, &cfg, warmup))
+                    }
+                })
+                .collect(),
+        );
+        for ((&kind, ram), col) in KINDS.iter().zip(&in_ram).zip(&replayed) {
+            assert_eq!(
+                ram,
+                col,
+                "{} ({threads} threads): columnar replay digest {col:#018x} \
+                 != in-RAM digest {ram:#018x}",
+                kind.name()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The same fan-out run serially and on four workers must digest
 /// identically: simulation results may not depend on the thread count.
 /// (Explicit `with_threads` rather than `DROPLET_THREADS` — mutating the

@@ -116,7 +116,7 @@ pub enum Digest {
 /// Everything the system simulator needs to replay one workload: the memory
 /// trace, the address space that typed it, the functional structure image
 /// for the MPP, and the MPP's software-programmed registers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceBundle {
     /// The algorithm that produced this trace.
     pub algorithm: Algorithm,

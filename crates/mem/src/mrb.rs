@@ -106,6 +106,26 @@ impl Mrb {
         done
     }
 
+    /// Drops every entry completed by cycle `now` without materializing
+    /// them: the allocation- and sort-free variant of
+    /// [`Mrb::drain_completed`] for systems with no MPP attached, where
+    /// completions only need to vacate buffer capacity.
+    pub fn discard_completed(&mut self, now: Cycle) {
+        if now < self.min_complete {
+            return;
+        }
+        let mut remaining_min = Cycle::MAX;
+        self.entries.retain(|e| {
+            if e.complete_at <= now {
+                false
+            } else {
+                remaining_min = remaining_min.min(e.complete_at);
+                true
+            }
+        });
+        self.min_complete = remaining_min;
+    }
+
     /// In-flight entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -514,6 +514,11 @@ pub struct RunManifest {
     /// For forked runs: the warm-up op count inherited from the shared
     /// snapshot.
     pub warmup_shared: Option<u64>,
+    /// Bundles tracked by the driver's trace cache (resident + spilled),
+    /// when the driver runs one.
+    pub trace_cache_len: Option<u64>,
+    /// Resident (non-spilled) trace-op bytes in the driver's trace cache.
+    pub trace_cache_bytes: Option<u64>,
 }
 
 fn opt_json<T: ToString>(v: &Option<T>, quote_it: bool) -> String {
@@ -552,6 +557,14 @@ impl RunManifest {
                 opt_json(&self.forked_from.map(|h| format!("{h:016x}")), true),
             ),
             ("warmup_shared".into(), opt_json(&self.warmup_shared, false)),
+            (
+                "trace_cache_len".into(),
+                opt_json(&self.trace_cache_len, false),
+            ),
+            (
+                "trace_cache_bytes".into(),
+                opt_json(&self.trace_cache_bytes, false),
+            ),
         ])
     }
 }

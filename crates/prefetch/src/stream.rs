@@ -14,7 +14,7 @@
 //!   queue because new structure lines are serviced by DRAM anyway.
 
 use crate::event::{AccessEvent, EventKind, PrefetchRequest, Prefetcher};
-use droplet_trace::{DataType, LINE_BYTES, PAGE_BYTES};
+use droplet_trace::{find_u64, min_index_u64, DataType, LINE_BYTES, PAGE_BYTES};
 
 /// Stream prefetcher parameters (paper Table V).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,8 +60,6 @@ enum TrackerState {
 
 #[derive(Debug, Clone, Copy)]
 struct Tracker {
-    /// Trackers are page-bounded: this is the monitored virtual page.
-    page: u64,
     state: TrackerState,
     /// Last observed line (global virtual line index).
     last_line: u64,
@@ -71,8 +69,6 @@ struct Tracker {
     confirmations: u8,
     /// Next line to prefetch.
     next_prefetch: u64,
-    /// LRU timestamp.
-    lru: u64,
     /// Data type observed at allocation (labels this stream's requests).
     dtype: DataType,
 }
@@ -101,7 +97,19 @@ struct Tracker {
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
     cfg: StreamConfig,
+    /// Monitored virtual page per tracker. Kept as a dense column (one
+    /// cache line per 8 trackers) so the per-event lookup is a chunked
+    /// [`find_u64`] instead of a pointer-striding struct scan: trackers are
+    /// page-bounded, so this is the only field every event must search.
+    pages: Vec<u64>,
+    /// LRU stamp per tracker — its own column for the same reason; the
+    /// allocation path picks victims with [`min_index_u64`].
+    lru: Vec<u64>,
+    /// The cold per-tracker state, parallel to `pages`/`lru`.
     trackers: Vec<Tracker>,
+    /// Index of the last tracker touched: graph traversals are bursty
+    /// within a page, so most events re-hit it and skip the scan.
+    last_idx: usize,
     clock: u64,
     issued: u64,
     triggers: u64,
@@ -119,7 +127,10 @@ impl StreamPrefetcher {
             "degenerate stream config"
         );
         StreamPrefetcher {
+            pages: Vec::with_capacity(cfg.trackers),
+            lru: Vec::with_capacity(cfg.trackers),
             trackers: Vec::with_capacity(cfg.trackers),
+            last_idx: usize::MAX,
             cfg,
             clock: 0,
             issued: 0,
@@ -152,8 +163,14 @@ impl StreamPrefetcher {
         (page * lines_per_page, (page + 1) * lines_per_page - 1)
     }
 
-    fn emit(&mut self, t: &mut Tracker, trigger_line: u64, out: &mut Vec<PrefetchRequest>) {
-        let (lo, hi) = Self::page_bounds(t.page);
+    fn emit(
+        &mut self,
+        t: &mut Tracker,
+        page: u64,
+        trigger_line: u64,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        let (lo, hi) = Self::page_bounds(page);
         let mut emitted = 0;
         while emitted < self.cfg.degree {
             let next = t.next_prefetch;
@@ -192,9 +209,14 @@ impl Prefetcher for StreamPrefetcher {
         let line = ev.line();
         let page = ev.page();
 
-        if let Some(idx) = self.trackers.iter().position(|t| t.page == page) {
+        let found = match self.last_idx {
+            memo if memo < self.pages.len() && self.pages[memo] == page => Some(memo),
+            _ => find_u64(&self.pages, page),
+        };
+        if let Some(idx) = found {
+            self.last_idx = idx;
+            self.lru[idx] = clock;
             let mut t = self.trackers[idx];
-            t.lru = clock;
             match t.state {
                 TrackerState::Training => {
                     let step = line as i64 - t.last_line as i64;
@@ -212,7 +234,7 @@ impl Prefetcher for StreamPrefetcher {
                         if t.confirmations >= 2 {
                             t.state = TrackerState::Monitoring;
                             t.next_prefetch = (line as i64 + t.dir).max(0) as u64;
-                            self.emit(&mut t, line, out);
+                            self.emit(&mut t, page, line, out);
                         }
                     }
                 }
@@ -224,7 +246,7 @@ impl Prefetcher for StreamPrefetcher {
                         if (t.next_prefetch as i64 - line as i64) * t.dir <= 0 {
                             t.next_prefetch = (line as i64 + t.dir).max(0) as u64;
                         }
-                        self.emit(&mut t, line, out);
+                        self.emit(&mut t, page, line, out);
                     } else if ahead != 0 {
                         // The access fell outside the monitored window — a
                         // restarted or different stream over this page.
@@ -246,26 +268,26 @@ impl Prefetcher for StreamPrefetcher {
         // data-aware mode structure L2 hits may also allocate, which lets
         // streams resume after the streamer itself made the page resident).
         let t = Tracker {
-            page,
             state: TrackerState::Training,
             last_line: line,
             dir: 0,
             confirmations: 0,
             next_prefetch: line,
-            lru: clock,
             dtype: ev.dtype,
         };
         if self.trackers.len() < self.cfg.trackers {
+            self.last_idx = self.trackers.len();
+            self.pages.push(page);
+            self.lru.push(clock);
             self.trackers.push(t);
         } else {
-            let victim = self
-                .trackers
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, t)| t.lru)
-                .map(|(i, _)| i)
-                .expect("tracker table is non-empty");
+            // Unique stamps (one bump per accepted event) mean no ties, and
+            // `min_index_u64` keeps min_by_key's first-minimum rule anyway.
+            let victim = min_index_u64(&self.lru);
+            self.pages[victim] = page;
+            self.lru[victim] = clock;
             self.trackers[victim] = t;
+            self.last_idx = victim;
         }
     }
 
@@ -290,7 +312,10 @@ impl Prefetcher for StreamPrefetcher {
             self.cfg.data_aware = on;
             // Mode changes invalidate trained streams: property pages may
             // now be legal (or not) to track.
+            self.pages.clear();
+            self.lru.clear();
             self.trackers.clear();
+            self.last_idx = usize::MAX;
         }
     }
 
@@ -462,7 +487,7 @@ mod tests {
         drive(&mut pf, &[miss(128, false)]);
         drive(&mut pf, &[miss(192, false)]);
         assert_eq!(pf.trackers.len(), 2);
-        assert!(pf.trackers.iter().all(|t| t.page != 1));
+        assert!(pf.pages.iter().all(|&p| p != 1));
     }
 
     #[test]

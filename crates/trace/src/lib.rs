@@ -20,21 +20,27 @@
 //! ```
 
 pub mod addr;
+pub mod columnar;
 pub mod funcmem;
 pub mod hash;
 pub mod layout;
+pub mod mmap;
 pub mod op;
 pub mod page;
 pub mod scan;
+pub mod source;
 pub mod tlb;
 pub mod tracer;
 
-pub use addr::{PhysAddr, VirtAddr, LINE_BYTES, PAGE_BYTES};
+pub use addr::{PhysAddr, VirtAddr, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
+pub use columnar::{ColumnarError, ColumnarReader};
 pub use funcmem::FunctionalMemory;
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use layout::{AddressSpace, ArrayRegion, Region, RegionId};
+pub use mmap::MappedFile;
 pub use op::{AccessKind, Cycle, DataType, MemOp, OpId};
 pub use page::{PageEntry, PageTable};
 pub use scan::{find_u64, min_index_u64};
+pub use source::{open_columnar, ColumnarSource, SliceSource, TraceSource};
 pub use tlb::Tlb;
 pub use tracer::{CountingTracer, Tracer, VecTracer};

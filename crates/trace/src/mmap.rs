@@ -1,0 +1,224 @@
+//! Read-only file mapping for zero-copy trace replay.
+//!
+//! [`MappedFile`] maps a file into the address space so a
+//! [`crate::columnar::ColumnarReader`] can decode blocks straight out of
+//! the page cache — no up-front read of the whole artifact, and replays
+//! that stop early never fault in the tail. The workspace carries no
+//! external crates, so on Linux the mapping is a direct `mmap(2)` syscall;
+//! every other platform (and any mapping failure) falls back to reading
+//! the file into an owned buffer, which is semantically identical and only
+//! costs the copy.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+enum Backing {
+    /// A live `mmap` region (pointer, length), unmapped on drop.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped(*const u8, usize),
+    /// Owned fallback buffer.
+    Owned(Vec<u8>),
+}
+
+/// A read-only view of a file's bytes, mapped when the platform allows.
+pub struct MappedFile {
+    backing: Backing,
+}
+
+// The mapped region is immutable (PROT_READ, MAP_PRIVATE) for the lifetime
+// of the value, so sharing it across threads is sound.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::os::fd::RawFd;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: i64 = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: i64 = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: i64 = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: i64 = 215;
+
+    const PROT_READ: i64 = 1;
+    const MAP_PRIVATE: i64 = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a, in("rsi") b, in("rdx") c,
+                in("r10") d, in("r8") e, in("r9") f,
+                lateout("rcx") _, lateout("r11") _,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a => ret,
+                in("x1") b, in("x2") c, in("x3") d, in("x4") e, in("x5") f,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    /// Maps `len` bytes of `fd` read-only; `None` on any kernel error.
+    pub fn map(fd: RawFd, len: usize) -> Option<*const u8> {
+        if len == 0 {
+            return None;
+        }
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                PROT_READ,
+                MAP_PRIVATE,
+                i64::from(fd),
+                0,
+            )
+        };
+        // Errors come back as small negative errno values.
+        if (-4095..=-1).contains(&ret) {
+            None
+        } else {
+            Some(ret as usize as *const u8)
+        }
+    }
+
+    /// Unmaps a region produced by [`map`].
+    pub fn unmap(ptr: *const u8, len: usize) {
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as usize as i64, len as i64, 0, 0, 0, 0);
+        }
+    }
+}
+
+impl MappedFile {
+    /// Opens `path` and maps (or reads) its full contents.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            use std::os::fd::AsRawFd;
+            if let Some(ptr) = sys::map(file.as_raw_fd(), len) {
+                // The fd may close now; the mapping keeps the pages alive.
+                return Ok(MappedFile {
+                    backing: Backing::Mapped(ptr, len),
+                });
+            }
+        }
+
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped(ptr, len) => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf,
+        }
+    }
+
+    /// Whether the bytes come from a live mapping (false: owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped(..) => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Mapped(ptr, len) = self.backing {
+            sys::unmap(ptr, len);
+        }
+    }
+}
+
+impl std::ops::Deref for MappedFile {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl AsRef<[u8]> for MappedFile {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_real_file_contents() {
+        let dir = std::env::temp_dir().join("droplet-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert_eq!(&*mapped, &payload[..]);
+        drop(mapped);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_reads_as_empty() {
+        let dir = std::env::temp_dir().join("droplet-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("e-{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert!(mapped.bytes().is_empty());
+        assert!(!mapped.is_mapped(), "zero-length maps fall back to owned");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -166,6 +166,40 @@ impl MemOp {
         }
     }
 
+    /// Reassembles an op from its stored columns (the columnar trace
+    /// codec's decode path). `producer_back` is the raw backward distance
+    /// with `0` meaning "no producer" — exactly the on-disk encoding, so
+    /// the codec never re-derives absolute producer ids.
+    pub(crate) const fn from_columns(
+        addr: VirtAddr,
+        kind: AccessKind,
+        dtype: DataType,
+        producer_back: u32,
+        pre_compute: u16,
+    ) -> Self {
+        MemOp {
+            addr,
+            producer_back: if producer_back == 0 {
+                NO_PRODUCER
+            } else {
+                producer_back
+            },
+            pre_compute,
+            kind,
+            dtype,
+        }
+    }
+
+    /// The raw backward producer distance as stored by the columnar codec:
+    /// `0` when independent, the distance otherwise.
+    pub(crate) const fn producer_back_or_zero(&self) -> u32 {
+        if self.producer_back == NO_PRODUCER {
+            0
+        } else {
+            self.producer_back
+        }
+    }
+
     /// The virtual address accessed.
     pub const fn addr(&self) -> VirtAddr {
         self.addr
