@@ -1,0 +1,73 @@
+//! Wall-clock gate for the replacement-policy laboratory: times the full
+//! policy × workload × level study (25 workloads × 9 hierarchies) over a
+//! warm trace cache and exports the wall plus the per-policy LLC geomean
+//! speedups to `BENCH_engine.json` (section `"policy_study"`).
+//!
+//! The wall gates higher-worse in `droplet-bench-diff`; the geomeans are
+//! informational context for the EXPERIMENTS.md table (exact cycle
+//! determinism is enforced separately by the digest and conformance
+//! suites, so the gate only needs to catch the study getting slower).
+//!
+//! Run with: `cargo bench -p droplet-bench --bench policy_study`
+
+use droplet::datasets::WorkloadSpec;
+use droplet::experiments::policy_study::{run_policy_study, PolicyLevel, STUDY_POLICIES};
+use droplet::experiments::ExperimentCtx;
+use droplet_bench::bench_json;
+use std::time::Instant;
+
+fn main() {
+    let ctx = ExperimentCtx::tiny();
+    println!(
+        "policy_study: scale={:?} budget={} warmup={} threads={}",
+        ctx.scale,
+        ctx.budget,
+        ctx.warmup,
+        ctx.pool.threads()
+    );
+
+    // Warm the shared trace cache so the timed pass measures simulation,
+    // not graph/trace construction.
+    let specs = WorkloadSpec::matrix(ctx.scale);
+    let build = Instant::now();
+    let ctx_ref = &ctx;
+    ctx.pool.run(
+        specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    ctx_ref.trace(spec);
+                }
+            })
+            .collect(),
+    );
+    println!(
+        "traces: {} bundles built in {} ms",
+        specs.len(),
+        build.elapsed().as_millis()
+    );
+
+    let t = Instant::now();
+    let study = run_policy_study(&ctx, &STUDY_POLICIES);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("{}", study.render());
+    println!("{} rows in {wall_ms:.0} ms", study.rows.len());
+
+    let mut pairs = vec![
+        ("scale".into(), bench_json::quote("tiny")),
+        ("budget".into(), ctx.budget.to_string()),
+        ("warmup".into(), ctx.warmup.to_string()),
+        ("threads".into(), ctx.pool.threads().to_string()),
+        ("wall_ms".into(), format!("{wall_ms:.0}")),
+    ];
+    for &p in &STUDY_POLICIES {
+        pairs.push((
+            format!("geomean_llc_{p}"),
+            format!("{:.4}", study.geomean_speedup(p, PolicyLevel::Llc)),
+        ));
+    }
+    let section = bench_json::object(&pairs);
+    let path = bench_json::default_report_path();
+    bench_json::write_section(&path, "policy_study", &section).expect("write BENCH_engine.json");
+    println!("wrote section \"policy_study\" to {}", path.display());
+}

@@ -1,12 +1,22 @@
-//! A set-associative, true-LRU, write-back cache with prefetch bookkeeping.
+//! A set-associative, write-back cache with pluggable replacement and
+//! prefetch bookkeeping.
 //!
 //! Lines are identified by their (physical) line index. Fills may carry a
 //! future `ready_at` cycle: the tag is allocated immediately (MSHR-style)
 //! but a demand hit before `ready_at` is a *late prefetch hit* and exposes
 //! the residual latency — this is how DROPLET's timeliness advantage over a
 //! monolithic L1 prefetcher (Section VII-B) becomes measurable.
+//!
+//! Replacement is selected by [`CacheConfig::policy`]: the default
+//! [`ReplacementPolicy::Lru`] keeps the original stamp-LRU fast path
+//! bit-identical, while the RRIP family reinterprets the same dense stamp
+//! array as per-way RRPVs (see `crate::policy` for the exact semantics).
 
 use crate::config::CacheConfig;
+use crate::policy::{
+    ship_signature, DuelRole, ReplacementPolicy, BRRIP_LONG_PERIOD, PSEL_INIT, PSEL_MAX, RRPV_LONG,
+    RRPV_MAX, SHCT_ENTRIES, SHCT_INIT, SHCT_MAX,
+};
 use crate::stats::CacheStats;
 use droplet_trace::{find_u64, Cycle, DataType};
 
@@ -36,6 +46,13 @@ struct LineMeta {
     /// the line and is reclaimed through [`EvictedLine::tracked`], so the
     /// demand path never hashes.
     tracked: Option<DataType>,
+    /// SHiP region signature recorded at fill ([`ReplacementPolicy::Ship`]
+    /// only; 0 otherwise).
+    sig: u16,
+    /// SHiP outcome bit: the line has seen a demand re-reference since
+    /// fill, so its signature was already trained up. Distinct from `used`,
+    /// which also flips on demand refresh-fills of prefetched lines.
+    ship_reused: bool,
 }
 
 impl LineMeta {
@@ -46,6 +63,8 @@ impl LineMeta {
         prefetched: false,
         used: false,
         tracked: None,
+        sig: 0,
+        ship_reused: false,
     };
 }
 
@@ -54,9 +73,10 @@ impl LineMeta {
 /// The differential conformance tests (`crates/conformance`) must prove they
 /// can *catch* a replacement-policy bug, not just pass on correct code.
 /// These mutations plant such bugs behind a runtime flag that defaults to
-/// [`CacheMutation::None`]; nothing in the simulator ever sets it. Both
-/// mutations live on the fill path only (off the hot hit path), so the
-/// disabled checks cost one never-taken compare per fill.
+/// [`CacheMutation::None`]; nothing in the simulator ever sets it. The LRU
+/// mutations live on the fill path only, and [`CacheMutation::RripPromoteFlip`]
+/// sits inside the RRIP-only promotion branch, so the disabled checks stay
+/// off the LRU hot hit path entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CacheMutation {
     /// Production behaviour.
@@ -69,6 +89,14 @@ pub enum CacheMutation {
     /// does not bump its recency stamp — the classic "forgot to touch on
     /// refresh" LRU bug, observable only via later eviction choices.
     StaleRefresh,
+    /// RRIP-family hit promotion is inverted: a demand hit writes
+    /// [`RRPV_MAX`] instead of 0, so hot lines look dead to the victim
+    /// scan — the "promotion forgot which direction RRPVs grow" bug.
+    RripPromoteFlip,
+    /// A SHiP fill keeps the signature left behind by the slot's previous
+    /// occupant instead of recording the incoming line's signature, so all
+    /// later SHCT training credits the wrong region.
+    ShipStaleSignature,
 }
 
 /// Result of a demand hit.
@@ -150,7 +178,8 @@ impl FillInfo {
     }
 }
 
-/// A set-associative LRU cache.
+/// A set-associative cache with a pluggable replacement policy
+/// (true LRU by default).
 ///
 /// # Example
 ///
@@ -169,14 +198,18 @@ pub struct SetAssocCache {
     cfg: CacheConfig,
     set_mask: u64,
     assoc: usize,
+    /// Copy of `cfg.policy`, hoisted out of the config for the hot paths.
+    policy: ReplacementPolicy,
     /// Way tags of all sets in one flat allocation: set `s` occupies
     /// `tags[s * assoc .. (s + 1) * assoc]`. A way holds its resident line
     /// index, or [`TAG_INVALID`].
     tags: Vec<u64>,
-    /// Recency stamps, index-parallel with `tags`; larger = more recently
-    /// touched. Exact LRU: the minimum stamp of a set is its LRU way, and a
-    /// hit is one in-place stamp store — no per-access allocation or element
-    /// shifting as with reorder-on-touch LRU lists. Kept as a dense array
+    /// Replacement state, index-parallel with `tags`. Under LRU these are
+    /// recency stamps (larger = more recently touched; the minimum stamp of
+    /// a set is its LRU way, and a hit is one in-place stamp store — no
+    /// per-access allocation or element shifting as with reorder-on-touch
+    /// LRU lists). Under the RRIP family the same array holds 2-bit RRPVs
+    /// (smaller = sooner re-reference predicted). Kept as a dense array
     /// (not a `LineMeta` field) so the fill path's victim scan streams
     /// 8 bytes per way.
     stamps: Vec<u64>,
@@ -199,16 +232,30 @@ pub struct SetAssocCache {
     /// Conformance-suite fault injection; [`CacheMutation::None`] in
     /// production, only ever set via [`SetAssocCache::set_test_mutation`].
     mutation: CacheMutation,
+    /// DRRIP policy-selection counter (≥ [`PSEL_INIT`] ⇒ followers run
+    /// BRRIP). Initialized to the midpoint; untouched by other policies.
+    psel: u16,
+    /// Deterministic BRRIP bimodal counter: every
+    /// [`BRRIP_LONG_PERIOD`]-th bimodal insertion goes long.
+    brrip_ctr: u64,
+    /// SHiP signature history counter table ([`SHCT_ENTRIES`] 2-bit
+    /// counters); empty unless the policy is [`ReplacementPolicy::Ship`].
+    shct: Vec<u8>,
     stats: CacheStats,
 }
 
 impl SetAssocCache {
-    /// Creates an empty cache with the given geometry.
+    /// Creates an empty cache with the given geometry and policy.
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.num_sets();
+        let shct = match cfg.policy {
+            ReplacementPolicy::Ship => vec![SHCT_INIT; SHCT_ENTRIES],
+            _ => Vec::new(),
+        };
         SetAssocCache {
             set_mask: num_sets as u64 - 1,
             assoc: cfg.assoc,
+            policy: cfg.policy,
             tags: vec![TAG_INVALID; num_sets * cfg.assoc],
             stamps: vec![0; num_sets * cfg.assoc],
             meta: vec![LineMeta::EMPTY; num_sets * cfg.assoc],
@@ -216,6 +263,9 @@ impl SetAssocCache {
             memo: [0, 0],
             tracked_count: 0,
             mutation: CacheMutation::None,
+            psel: PSEL_INIT,
+            brrip_ctr: 0,
+            shct,
             cfg,
             stats: CacheStats::default(),
         }
@@ -252,7 +302,8 @@ impl SetAssocCache {
     }
 
     /// A demand access to `line` at cycle `now`. Returns hit info, or
-    /// `None` on a miss. Updates LRU, usefulness bits, and statistics.
+    /// `None` on a miss. Updates replacement state, usefulness bits, and
+    /// statistics.
     pub fn touch(
         &mut self,
         line: u64,
@@ -275,7 +326,23 @@ impl SetAssocCache {
             self.memo = [range.start + hit, self.memo[0]];
             self.memo[0]
         };
-        self.stamps[way] = stamp;
+        if self.policy == ReplacementPolicy::Lru {
+            self.stamps[way] = stamp;
+        } else {
+            // Hit promotion: near-immediate re-reference predicted.
+            self.stamps[way] = if self.mutation == CacheMutation::RripPromoteFlip {
+                RRPV_MAX
+            } else {
+                0
+            };
+            if self.policy == ReplacementPolicy::Ship && !self.meta[way].ship_reused {
+                // First demand re-reference trains the signature up.
+                self.meta[way].ship_reused = true;
+                let sig = self.meta[way].sig as usize;
+                let c = &mut self.shct[sig];
+                *c = (*c + 1).min(SHCT_MAX);
+            }
+        }
         let entry = &mut self.meta[way];
         let first_prefetch_use = entry.prefetched && !entry.used;
         entry.used = true;
@@ -295,9 +362,9 @@ impl SetAssocCache {
         })
     }
 
-    /// Fills `line`, evicting the LRU line of its set if full. If the line
-    /// is already resident the existing entry is refreshed instead (its
-    /// `ready_at` keeps the earlier of the two arrival times).
+    /// Fills `line`, evicting the policy's victim from its set if full. If
+    /// the line is already resident the existing entry is refreshed instead
+    /// (its `ready_at` keeps the earlier of the two arrival times).
     pub fn fill(&mut self, line: u64, info: FillInfo) -> Option<EvictedLine> {
         if info.prefetched {
             self.stats.prefetch_fills.bump(info.dtype);
@@ -306,12 +373,17 @@ impl SetAssocCache {
         }
         let stamp = self.tick;
         self.tick += 1;
+        let lru = self.policy == ReplacementPolicy::Lru;
+        // What a refresh of a resident line writes: the fresh recency stamp
+        // under LRU, RRPV 0 (re-reference observed) under the RRIP family.
+        let refresh_val = if lru { stamp } else { 0 };
         let range = self.set_range(line);
         // One fused tag scan resolves all three cases: refresh a resident
         // line, or pick the victim way (first invalid, else minimum stamp =
-        // LRU). The fill path is dominated by misses installing into full
-        // sets, so fusing the scans keeps it one pass over the dense
-        // tag/stamp arrays; only the chosen way touches the payload array.
+        // LRU; the RRIP victim scan below reuses the same sliced array).
+        // The fill path is dominated by misses installing into full sets,
+        // so fusing the scans keeps it one pass over the dense tag/stamp
+        // arrays; only the chosen way touches the payload array.
         let mut invalid_idx = None;
         let mut lru_idx = 0;
         let mut lru_stamp = u64::MAX;
@@ -328,7 +400,7 @@ impl SetAssocCache {
             }
             if t == line {
                 if self.mutation != CacheMutation::StaleRefresh {
-                    set_stamps[i] = stamp;
+                    set_stamps[i] = refresh_val;
                 }
                 let w = &mut self.meta[range.start + i];
                 w.ready_at = w.ready_at.min(info.ready_at);
@@ -355,6 +427,7 @@ impl SetAssocCache {
         }
         let victim_idx = match invalid_idx {
             Some(i) => i,
+            None if !lru => self.rrip_victim(range.clone()),
             None if self.mutation == CacheMutation::LruFlip => {
                 // Injected bug: evict the MRU way instead of the LRU way.
                 (0..self.assoc)
@@ -371,6 +444,11 @@ impl SetAssocCache {
                 if victim.prefetched && !victim.used {
                     self.stats.prefetch_unused_evictions.bump(victim.dtype);
                 }
+                if self.policy == ReplacementPolicy::Ship && !victim.ship_reused {
+                    // Evicted dead: train the signature down.
+                    let c = &mut self.shct[victim.sig as usize];
+                    *c = c.saturating_sub(1);
+                }
                 Some(EvictedLine {
                     line: self.tags[way],
                     dirty: victim.dirty,
@@ -381,8 +459,23 @@ impl SetAssocCache {
                 })
             }
         };
+        // Victim training above precedes the insertion prediction below, so
+        // a line whose signature was just demoted sees its own demotion.
+        let (insert_val, sig) = if lru {
+            (stamp, 0)
+        } else {
+            let sig = if self.policy != ReplacementPolicy::Ship {
+                0
+            } else if self.mutation == CacheMutation::ShipStaleSignature {
+                // Injected bug: inherit the slot's previous signature.
+                self.meta[way].sig
+            } else {
+                ship_signature(line)
+            };
+            (self.insertion_rrpv(line, &info), sig)
+        };
         self.tags[way] = line;
-        self.stamps[way] = stamp;
+        self.stamps[way] = insert_val;
         self.meta[way] = LineMeta {
             ready_at: info.ready_at,
             dtype: info.dtype,
@@ -390,6 +483,8 @@ impl SetAssocCache {
             prefetched: info.prefetched,
             used: false,
             tracked: info.track.then_some(info.dtype),
+            sig,
+            ship_reused: false,
         };
         if info.track {
             self.tracked_count += 1;
@@ -400,6 +495,72 @@ impl SetAssocCache {
             }
         }
         evicted
+    }
+
+    /// RRIP victim selection over a full set: the lowest-indexed way at
+    /// [`RRPV_MAX`], aging every way by +1 until one qualifies (at most
+    /// [`RRPV_MAX`] rounds, since every RRPV is ≤ [`RRPV_MAX`]).
+    #[cold]
+    fn rrip_victim(&mut self, range: std::ops::Range<usize>) -> usize {
+        let set_stamps = &mut self.stamps[range];
+        loop {
+            for (i, s) in set_stamps.iter().enumerate() {
+                if *s >= RRPV_MAX {
+                    return i;
+                }
+            }
+            for s in set_stamps.iter_mut() {
+                *s += 1;
+            }
+        }
+    }
+
+    /// Insertion RRPV for a new line under the RRIP family, advancing the
+    /// policy's adaptive state (PSEL / bimodal counter) as a side effect.
+    fn insertion_rrpv(&mut self, line: u64, info: &FillInfo) -> u64 {
+        let effective = match self.policy {
+            ReplacementPolicy::Drrip => {
+                let num_sets = self.set_mask as usize + 1;
+                let set = (line & self.set_mask) as usize;
+                let role = DuelRole::of_set(set, num_sets);
+                // Demand miss-fills into leader sets train the selector
+                // against the leader's own policy.
+                if !info.prefetched {
+                    match role {
+                        DuelRole::SrripLeader => self.psel = (self.psel + 1).min(PSEL_MAX),
+                        DuelRole::BrripLeader => self.psel = self.psel.saturating_sub(1),
+                        DuelRole::Follower => {}
+                    }
+                }
+                match role {
+                    DuelRole::SrripLeader => ReplacementPolicy::Srrip,
+                    DuelRole::BrripLeader => ReplacementPolicy::Brrip,
+                    DuelRole::Follower if self.psel >= PSEL_INIT => ReplacementPolicy::Brrip,
+                    DuelRole::Follower => ReplacementPolicy::Srrip,
+                }
+            }
+            p => p,
+        };
+        match effective {
+            ReplacementPolicy::Srrip => RRPV_LONG,
+            ReplacementPolicy::Brrip => {
+                self.brrip_ctr += 1;
+                if self.brrip_ctr.is_multiple_of(BRRIP_LONG_PERIOD) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+            ReplacementPolicy::Ship => {
+                if self.shct[ship_signature(line) as usize] == 0 {
+                    RRPV_MAX
+                } else {
+                    RRPV_LONG
+                }
+            }
+            // `Lru` never reaches here; `Drrip` resolved above.
+            _ => unreachable!(),
+        }
     }
 
     /// Removes `line` (inclusion back-invalidation), returning its state.
@@ -493,6 +654,7 @@ mod tests {
             assoc: 2,
             tag_latency: 1,
             data_latency: 2,
+            policy: ReplacementPolicy::Lru,
         })
     }
 

@@ -1,6 +1,7 @@
 //! Cache geometry and latency configuration (paper Table I + CACTI-derived
 //! latencies for the swept LLC capacities of Fig. 4a).
 
+use crate::policy::ReplacementPolicy;
 use droplet_trace::LINE_BYTES;
 
 /// Geometry and timing of one cache level.
@@ -25,6 +26,11 @@ pub struct CacheConfig {
     pub tag_latency: u64,
     /// Cycles to access the data array (charged on hits and fills).
     pub data_latency: u64,
+    /// Replacement policy of this level ([`ReplacementPolicy::Lru`] is the
+    /// paper baseline). Part of the config's `Debug` form, so it flows into
+    /// `SystemConfig::warmup_key` and the manifest config hash without any
+    /// extra plumbing.
+    pub policy: ReplacementPolicy,
 }
 
 impl CacheConfig {
@@ -36,6 +42,7 @@ impl CacheConfig {
             assoc: 8,
             tag_latency: 1,
             data_latency: 4,
+            policy: ReplacementPolicy::Lru,
         }
     }
 
@@ -47,6 +54,7 @@ impl CacheConfig {
             assoc: 8,
             tag_latency: 3,
             data_latency: 8,
+            policy: ReplacementPolicy::Lru,
         }
     }
 
@@ -75,7 +83,15 @@ impl CacheConfig {
             assoc: 16,
             tag_latency: tag,
             data_latency: data,
+            policy: ReplacementPolicy::Lru,
         }
+    }
+
+    /// Returns the same geometry under a different replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Number of sets implied by the geometry.
@@ -138,5 +154,17 @@ mod tests {
     #[test]
     fn line_count() {
         assert_eq!(CacheConfig::l1d().num_lines(), 512);
+    }
+
+    #[test]
+    fn constructors_default_to_lru_and_with_policy_swaps_it() {
+        for cfg in [CacheConfig::l1d(), CacheConfig::l2(), CacheConfig::l3()] {
+            assert_eq!(cfg.policy, ReplacementPolicy::Lru);
+        }
+        let srrip = CacheConfig::l3().with_policy(ReplacementPolicy::Srrip);
+        assert_eq!(srrip.policy, ReplacementPolicy::Srrip);
+        assert_ne!(srrip, CacheConfig::l3());
+        // The policy is visible in Debug output (warmup_key relies on this).
+        assert!(format!("{srrip:?}").contains("Srrip"));
     }
 }

@@ -1,7 +1,9 @@
-//! Cache models for the DROPLET reproduction: set-associative LRU caches
-//! with prefetch-usefulness tracking and in-flight fill timing (so prefetch
-//! *timeliness* is modeled, not just coverage), per-data-type statistics,
-//! and the reuse-distance profiler behind the paper's Observation #6.
+//! Cache models for the DROPLET reproduction: set-associative caches with
+//! pluggable replacement (true LRU by default, plus the SRRIP/BRRIP/DRRIP/
+//! SHiP laboratory — see [`ReplacementPolicy`]), prefetch-usefulness
+//! tracking and in-flight fill timing (so prefetch *timeliness* is modeled,
+//! not just coverage), per-data-type statistics, and the reuse-distance
+//! profiler behind the paper's Observation #6.
 //!
 //! # Example
 //!
@@ -18,10 +20,12 @@
 
 pub mod cache;
 pub mod config;
+pub mod policy;
 pub mod reuse;
 pub mod stats;
 
 pub use cache::{CacheMutation, EvictedLine, FillInfo, HitInfo, SetAssocCache};
 pub use config::CacheConfig;
-pub use reuse::{ReuseHistogram, ReuseProfiler};
+pub use policy::{ship_signature, DuelRole, ReplacementPolicy};
+pub use reuse::{ReuseHistogram, ReuseProfiler, ReuseReport};
 pub use stats::{CacheStats, TypedCounter};

@@ -1,0 +1,204 @@
+//! Pluggable replacement policies for [`SetAssocCache`](crate::SetAssocCache).
+//!
+//! The paper fixes true LRU at every level (Table I), but graph workloads
+//! are exactly where RRIP-family and signature-based policies diverge from
+//! LRU — property streams with giant reuse distances thrash an LRU LLC,
+//! while scan-resistant insertion keeps the hot structure working set
+//! resident. The policy seam keeps [`ReplacementPolicy::Lru`] bit-identical
+//! to the original stamp-LRU fast path (pinned by the golden digests in
+//! `crates/core/tests/demand_path_digests.rs`) and adds four RRIP-family
+//! alternatives, each lockstep-verified against an executable reference
+//! model in `crates/conformance`.
+//!
+//! # RRPV semantics (shared by Srrip/Brrip/Drrip/Ship)
+//!
+//! Every way carries a 2-bit re-reference prediction value (RRPV, stored in
+//! the same dense array LRU uses for recency stamps). `0` predicts
+//! near-immediate re-reference, [`RRPV_MAX`] (3) predicts distant. A demand
+//! hit promotes to 0 (hit-promotion policy); a refresh-fill of a resident
+//! line promotes likewise. The victim is the lowest-indexed way with
+//! RRPV == [`RRPV_MAX`]; if none exists, every way ages by +1 and the scan
+//! repeats (at most [`RRPV_MAX`] rounds). Invalid ways always win first.
+//!
+//! Insertion RRPV is where the policies differ:
+//!
+//! * **Srrip** inserts at [`RRPV_LONG`] (2).
+//! * **Brrip** inserts at [`RRPV_MAX`] (distant), except every
+//!   [`BRRIP_LONG_PERIOD`]-th bimodal insertion which inserts at
+//!   [`RRPV_LONG`] — a deterministic counter stands in for the paper's
+//!   ε-probability so runs stay bit-reproducible.
+//! * **Drrip** set-duels: leader sets are pinned to SRRIP or BRRIP by a
+//!   fixed position rule (see [`DuelRole::of_set`]), follower sets obey a
+//!   [`PSEL_BITS`]-bit saturating counter trained by demand misses
+//!   (miss-fills) into leader sets.
+//! * **Ship** predicts per region signature: a [`SHCT_ENTRIES`]-entry table
+//!   of 2-bit counters, trained up on a line's first demand re-reference
+//!   and down when a line is evicted dead (never re-referenced). A zero
+//!   counter predicts dead-on-arrival and inserts at [`RRPV_MAX`];
+//!   otherwise [`RRPV_LONG`].
+
+/// Replacement policy of one cache level. Carried by
+/// [`CacheConfig`](crate::CacheConfig), so it participates in
+/// `SystemConfig::warmup_key` and the manifest config hash automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Exact true LRU via per-way recency stamps (the paper's baseline).
+    #[default]
+    Lru,
+    /// Static RRIP: scan-resistant long-interval insertion.
+    Srrip,
+    /// Bimodal RRIP: mostly-distant insertion, deterministically throttled.
+    Brrip,
+    /// Dynamic RRIP: set-dueling chooses SRRIP or BRRIP at run time.
+    Drrip,
+    /// SHiP-style signature-driven insertion depth prediction.
+    Ship,
+}
+
+/// Maximum (most distant) 2-bit re-reference prediction value.
+pub const RRPV_MAX: u64 = 3;
+/// "Long" re-reference interval: the SRRIP insertion point.
+pub const RRPV_LONG: u64 = RRPV_MAX - 1;
+/// Every `BRRIP_LONG_PERIOD`-th bimodal insertion is long instead of
+/// distant (deterministic stand-in for SRRIP's ε = 1/32).
+pub const BRRIP_LONG_PERIOD: u64 = 32;
+/// Width of the DRRIP policy-selection counter.
+pub const PSEL_BITS: u32 = 10;
+/// Saturation bound of the DRRIP PSEL counter.
+pub const PSEL_MAX: u16 = (1 << PSEL_BITS) - 1;
+/// PSEL midpoint and initial value; followers run BRRIP at or above it.
+pub const PSEL_INIT: u16 = 1 << (PSEL_BITS - 1);
+/// Entries in the SHiP signature history counter table (power of two).
+pub const SHCT_ENTRIES: usize = 1024;
+/// Saturation bound of one 2-bit SHCT counter.
+pub const SHCT_MAX: u8 = 3;
+/// Initial SHCT counter value: weakly "reuses", so cold signatures insert
+/// long until proven dead.
+pub const SHCT_INIT: u8 = 1;
+
+impl ReplacementPolicy {
+    /// Every policy, in CLI/report order.
+    pub const ALL: [ReplacementPolicy; 5] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Srrip,
+        ReplacementPolicy::Brrip,
+        ReplacementPolicy::Drrip,
+        ReplacementPolicy::Ship,
+    ];
+
+    /// Display name used by reports and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Srrip => "SRRIP",
+            ReplacementPolicy::Brrip => "BRRIP",
+            ReplacementPolicy::Drrip => "DRRIP",
+            ReplacementPolicy::Ship => "SHiP",
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive): `lru`, `srrip`, `brrip`,
+    /// `drrip`, `ship`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Some(ReplacementPolicy::Lru),
+            "srrip" => Some(ReplacementPolicy::Srrip),
+            "brrip" => Some(ReplacementPolicy::Brrip),
+            "drrip" => Some(ReplacementPolicy::Drrip),
+            "ship" => Some(ReplacementPolicy::Ship),
+            _ => None,
+        }
+    }
+
+    /// Whether ways carry RRPVs rather than LRU recency stamps.
+    pub fn is_rrip_family(self) -> bool {
+        self != ReplacementPolicy::Lru
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// DRRIP role of one set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuelRole {
+    /// Leader pinned to SRRIP insertion; its demand misses bump PSEL up.
+    SrripLeader,
+    /// Leader pinned to BRRIP insertion; its demand misses bump PSEL down.
+    BrripLeader,
+    /// Follows the PSEL winner.
+    Follower,
+}
+
+impl DuelRole {
+    /// Fixed leader layout: with `period = min(32, num_sets)`, set `s` is
+    /// an SRRIP leader when `s % period == 0` and a BRRIP leader when
+    /// `s % period == period / 2`. The `min` keeps both constituencies
+    /// populated in the tiny caches the conformance fuzzer uses.
+    pub fn of_set(set: usize, num_sets: usize) -> DuelRole {
+        let period = num_sets.min(32);
+        if set.is_multiple_of(period) {
+            DuelRole::SrripLeader
+        } else if set % period == period / 2 {
+            DuelRole::BrripLeader
+        } else {
+            DuelRole::Follower
+        }
+    }
+}
+
+/// SHiP region signature of a line: the line index folded into the SHCT
+/// index space. Stands in for the paper's PC signature — the cache sees
+/// addresses, not PCs, and on graph traces the address region (structure
+/// vs property pages) is exactly what separates reuse behaviour.
+pub fn ship_signature(line: u64) -> u16 {
+    ((line ^ (line >> 10) ^ (line >> 20)) & (SHCT_ENTRIES as u64 - 1)) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_policy() {
+        for p in ReplacementPolicy::ALL {
+            assert_eq!(ReplacementPolicy::parse(&p.name().to_lowercase()), Some(p));
+        }
+        assert_eq!(
+            ReplacementPolicy::parse("SHIP"),
+            Some(ReplacementPolicy::Ship)
+        );
+        assert_eq!(ReplacementPolicy::parse("plru"), None);
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+        assert!(!ReplacementPolicy::Lru.is_rrip_family());
+        assert!(ReplacementPolicy::Ship.is_rrip_family());
+    }
+
+    #[test]
+    fn duel_roles_cover_both_leaders_in_tiny_caches() {
+        for num_sets in [4usize, 8, 16, 64, 8192] {
+            let roles: Vec<DuelRole> = (0..num_sets)
+                .map(|s| DuelRole::of_set(s, num_sets))
+                .collect();
+            assert!(roles.contains(&DuelRole::SrripLeader));
+            assert!(roles.contains(&DuelRole::BrripLeader));
+            assert_eq!(roles[0], DuelRole::SrripLeader);
+        }
+    }
+
+    #[test]
+    fn signatures_fit_the_shct() {
+        for line in [0u64, 1, 63, 1024, 1 << 30, u64::MAX - 1] {
+            assert!((ship_signature(line) as usize) < SHCT_ENTRIES);
+        }
+        // Nearby lines in different regions get different signatures.
+        assert_ne!(ship_signature(3), ship_signature(4));
+    }
+}

@@ -147,6 +147,74 @@ impl ReuseHistogram {
             .sum();
         weighted / self.total_reuses as f64
     }
+
+    /// The raw power-of-two bucket counts (`[k]` covers `[2^k, 2^(k+1))`,
+    /// bucket 0 covering distances 0 and 1). Exposed so tests can pin
+    /// hand-computed histograms exactly and drivers can render them.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// One data type's row of a [`ReuseReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReuseRow {
+    /// The data type this row describes.
+    pub dtype: DataType,
+    /// First-touch accesses (infinite distance).
+    pub cold: u64,
+    /// Non-cold reuses.
+    pub reuses: u64,
+    /// Mean log2 stack distance over reuses.
+    pub mean_log2_distance: f64,
+    /// Best-case hit fraction within the small-cache capacity.
+    pub capturable_small: f64,
+    /// Best-case hit fraction within the large-cache capacity.
+    pub capturable_large: f64,
+}
+
+impl ReuseRow {
+    /// Fraction of reuses only the large cache can capture — the working
+    /// set slice a bigger or better-managed LLC wins back.
+    pub fn large_cache_gain(&self) -> f64 {
+        (self.capturable_large - self.capturable_small).max(0.0)
+    }
+
+    /// Fraction of reuses beyond even the large cache: the scanning slice
+    /// that thrashes LRU and that scan-resistant insertion (RRIP/SHiP)
+    /// keeps away from the resident working set.
+    pub fn thrash_fraction(&self) -> f64 {
+        (1.0 - self.capturable_large).max(0.0)
+    }
+}
+
+/// Per-data-type reuse summary at two cache capacities — the analysis
+/// behind the paper's Observation #6, packaged so the replacement-policy
+/// study can *explain* per-data-type wins: a type with a large
+/// [`ReuseRow::thrash_fraction`] pollutes an LRU cache with dead lines,
+/// and the types with high [`ReuseRow::large_cache_gain`] are the ones a
+/// scan-resistant policy protects.
+#[derive(Debug, Clone)]
+pub struct ReuseReport {
+    /// One row per [`DataType`], in `DataType::ALL` order.
+    pub rows: [ReuseRow; 3],
+}
+
+impl ReuseReport {
+    /// The row for one data type.
+    pub fn row(&self, dtype: DataType) -> &ReuseRow {
+        &self.rows[dtype.index()]
+    }
+
+    /// The data type with the largest scanning (LRU-thrashing) share,
+    /// ignoring types with no reuses at all.
+    pub fn most_thrashing(&self) -> DataType {
+        self.rows
+            .iter()
+            .filter(|r| r.reuses > 0)
+            .max_by(|a, b| a.thrash_fraction().total_cmp(&b.thrash_fraction()))
+            .map_or(DataType::Structure, |r| r.dtype)
+    }
 }
 
 /// Olken reuse-distance profiler at cacheline granularity, split by data
@@ -205,6 +273,24 @@ impl ReuseProfiler {
     /// Number of distinct lines seen.
     pub fn distinct_lines(&self) -> usize {
         self.last_access.len()
+    }
+
+    /// Summarizes every data type at two capacities (in lines) — typically
+    /// the L2 and the LLC, so the report separates "fits in L2", "LLC
+    /// recovers it", and "thrashes everything" reuse populations.
+    pub fn report(&self, small_lines: u64, large_lines: u64) -> ReuseReport {
+        let rows = DataType::ALL.map(|dtype| {
+            let h = self.histogram(dtype);
+            ReuseRow {
+                dtype,
+                cold: h.cold(),
+                reuses: h.reuses(),
+                mean_log2_distance: h.mean_log2_distance(),
+                capturable_small: h.capturable_by(small_lines),
+                capturable_large: h.capturable_by(large_lines),
+            }
+        });
+        ReuseReport { rows }
     }
 }
 
@@ -312,5 +398,82 @@ mod tests {
         assert_eq!(*caps.last().unwrap(), 1.0);
         assert_eq!(caps[0], 0.0);
         assert!(h.mean_log2_distance() > 4.0);
+    }
+
+    #[test]
+    fn hand_computed_histogram_is_pinned_exactly() {
+        // Stream: a b a c b a  (a=1, b=2, c=3), all Structure.
+        //   a@0 cold, b@1 cold, a@2 dist 1 (b)      -> bucket 0
+        //   c@3 cold, b@4 dist 2 (a, c)             -> bucket 1
+        //   a@5 dist 2 (c, b)                       -> bucket 1
+        let mut p = ReuseProfiler::new();
+        for l in [1u64, 2, 1, 3, 2, 1] {
+            p.access(l, S);
+        }
+        let h = p.histogram(S);
+        assert_eq!(h.cold(), 3);
+        assert_eq!(h.reuses(), 3);
+        assert_eq!(h.bucket_counts(), &[1, 2]);
+        // Bucket midpoints: (0.5 * 1 + 1.5 * 2) / 3.
+        assert!((h.mean_log2_distance() - 3.5 / 3.0).abs() < 1e-12);
+        assert_eq!(p.distinct_lines(), 3);
+    }
+
+    #[test]
+    fn hand_computed_histogram_with_repeats_and_gaps() {
+        // Stream: x x y x  (x=10, y=20).
+        //   x@0 cold, x@1 dist 0 -> bucket 0, y@2 cold,
+        //   x@3 dist 1 (y)       -> bucket 0
+        let mut p = ReuseProfiler::new();
+        for l in [10u64, 10, 20, 10] {
+            p.access(l, P);
+        }
+        let h = p.histogram(P);
+        assert_eq!(h.cold(), 2);
+        assert_eq!(h.reuses(), 2);
+        assert_eq!(h.bucket_counts(), &[2]);
+        assert_eq!(h.capturable_by(1), 1.0);
+    }
+
+    #[test]
+    fn report_breaks_down_structure_vs_property_wins() {
+        // Synthetic graph-shaped trace: a 64-line structure scan with a hot
+        // 4-line property working set re-touched every 8 structure lines.
+        // Every property reuse spans 3 hot lines + 8 scan lines = distance
+        // 11 (bucket [8,16)); every structure reuse spans a full cycle of
+        // 63 other scan lines + 4 hot lines = distance 67 (bucket [64,128)).
+        let mut p = ReuseProfiler::new();
+        for _ in 0..4 {
+            for l in 0..64u64 {
+                if l % 8 == 0 {
+                    for h in 0..4u64 {
+                        p.access(1_000 + h, P);
+                    }
+                }
+                p.access(l, S);
+            }
+        }
+        let report = p.report(16, 256);
+        let prop = report.row(P);
+        let stru = report.row(S);
+        assert_eq!(prop.cold, 4);
+        assert_eq!(prop.reuses, 4 * 8 * 4 - 4);
+        assert_eq!(stru.cold, 64);
+        assert_eq!(stru.reuses, 3 * 64);
+        // Property fits the small cache outright; structure reuses are
+        // beyond it but fully within the large cache — the Observation #6
+        // shape, now split per data type.
+        assert_eq!(prop.capturable_small, 1.0);
+        assert_eq!(prop.thrash_fraction(), 0.0);
+        assert_eq!(stru.capturable_small, 0.0);
+        assert_eq!(stru.capturable_large, 1.0);
+        assert_eq!(stru.large_cache_gain(), 1.0);
+        assert!(stru.mean_log2_distance > prop.mean_log2_distance);
+        // Shrink the large capacity below the scan length and the structure
+        // stream becomes the thrashing slice a scan-resistant policy fences.
+        let tight = p.report(16, 32);
+        assert_eq!(tight.row(S).thrash_fraction(), 1.0);
+        assert_eq!(tight.most_thrashing(), S);
+        assert_eq!(tight.row(P).thrash_fraction(), 0.0);
     }
 }

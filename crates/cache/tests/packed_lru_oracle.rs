@@ -117,6 +117,7 @@ proptest! {
             assoc: 2,           // 4 sets x 2 ways
             tag_latency: 1,
             data_latency: 1,
+            policy: droplet_cache::ReplacementPolicy::Lru,
         };
         let num_sets = cfg.num_sets() as u64;
         let mut cache = SetAssocCache::new(cfg);

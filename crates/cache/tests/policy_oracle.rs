@@ -1,0 +1,485 @@
+//! Per-policy oracle for the packed cache's replacement seam: each of the
+//! five [`ReplacementPolicy`] variants is pinned twice —
+//!
+//! 1. **Exact sequences**: hand-computed traces whose eviction order only
+//!    comes out right if the policy's defining mechanism works (SRRIP hit
+//!    promotion, the deterministic BRRIP bimodal counter crossing its
+//!    period, DRRIP set-dueling flipping the followers, SHiP dead-block
+//!    prediction and its training edges).
+//! 2. **Fuzzed lockstep**: ≥10k mixed operations per policy against a naive
+//!    slot-stable model written in the simplest possible terms, comparing
+//!    every observable per op — hit/miss, `ready_at`, first-prefetch-use,
+//!    evicted-line identity and flags, residency, and occupancy.
+//!
+//! Mirrors `tlb_stamp_oracle.rs` / `packed_lru_oracle.rs`; the conformance
+//! crate replays the same contract against its own reference models, so a
+//! policy bug has to fool two independently written oracles to land.
+
+use droplet_cache::policy::{
+    DuelRole, BRRIP_LONG_PERIOD, PSEL_INIT, RRPV_LONG, RRPV_MAX, SHCT_ENTRIES, SHCT_INIT, SHCT_MAX,
+};
+use droplet_cache::{ship_signature, CacheConfig, FillInfo, ReplacementPolicy, SetAssocCache};
+use droplet_trace::DataType;
+use proptest::{env_seed, TestRng};
+
+/// A one-set (or few-set) eviction-pressure geometry for `policy`.
+fn tiny(policy: ReplacementPolicy, lines: u64, assoc: usize) -> CacheConfig {
+    CacheConfig {
+        name: "t",
+        size_bytes: lines * 64,
+        assoc,
+        tag_latency: 1,
+        data_latency: 1,
+        policy,
+    }
+}
+
+fn demand(now: u64) -> FillInfo {
+    FillInfo::demand(DataType::Property, now)
+}
+
+/// Fills `line` and returns the evicted line's identity (if any).
+fn fill_evicting(c: &mut SetAssocCache, line: u64, now: u64) -> Option<u64> {
+    c.fill(line, demand(now)).map(|e| e.line)
+}
+
+// ---------------------------------------------------------------------------
+// Exact hand-computed sequences.
+// ---------------------------------------------------------------------------
+
+/// SRRIP: inserts at RRPV_LONG, hit promotes to 0, victim = first way at
+/// RRPV_MAX after aging rounds. The promoted line must outlive an aged one.
+#[test]
+fn srrip_exact_sequence() {
+    // 1 set x 2 ways.
+    let mut c = SetAssocCache::new(tiny(ReplacementPolicy::Srrip, 2, 2));
+    assert_eq!(fill_evicting(&mut c, 10, 0), None); // way0: 10@LONG
+    assert_eq!(fill_evicting(&mut c, 20, 1), None); // way1: 20@LONG
+                                                    // No way at MAX: one aging round lifts both to MAX, way0 wins the tie.
+    assert_eq!(fill_evicting(&mut c, 30, 2), Some(10)); // way0: 30@LONG, way1: 20@MAX
+    assert_eq!(fill_evicting(&mut c, 40, 3), Some(20)); // way1: 40@LONG
+    assert!(c.touch(30, 4, DataType::Property, false).is_some()); // 30 → RRPV 0
+                                                                  // Aging: 30→1, 40→MAX. The promoted line survives.
+    assert_eq!(fill_evicting(&mut c, 50, 5), Some(40));
+    assert!(c.contains(30) && c.contains(50) && !c.contains(40));
+}
+
+/// BRRIP: the deterministic bimodal counter inserts at RRPV_MAX except on
+/// every `BRRIP_LONG_PERIOD`-th insertion, which gets RRPV_LONG and — for
+/// the first time in the whole run — outlives the set's standing occupant.
+#[test]
+fn brrip_exact_sequence() {
+    // 1 set x 2 ways; insertions 1..=31 land at MAX, insertion 32 at LONG.
+    let mut c = SetAssocCache::new(tiny(ReplacementPolicy::Brrip, 2, 2));
+    assert_eq!(fill_evicting(&mut c, 1, 0), None); // way0: 1@MAX
+    assert_eq!(fill_evicting(&mut c, 2, 1), None); // way1: 2@MAX
+                                                   // MAX-inserted lines are immediately re-evictable: way0 thrashes while
+                                                   // way1's line 2 sits untouched for 30 straight evictions.
+    assert_eq!(fill_evicting(&mut c, 3, 2), Some(1));
+    for n in 4..BRRIP_LONG_PERIOD {
+        assert_eq!(fill_evicting(&mut c, n, n), Some(n - 1), "insertion {n}");
+    }
+    // Insertion 32 = the bimodal LONG insert (still evicts way0's line 31).
+    assert_eq!(fill_evicting(&mut c, 32, 32), Some(31)); // way0: 32@LONG
+                                                         // Now way1 (2@MAX) is finally the victim: the LONG insert survived.
+    assert_eq!(fill_evicting(&mut c, 33, 33), Some(2)); // way1: 33@MAX
+    assert_eq!(fill_evicting(&mut c, 34, 34), Some(33));
+    assert!(c.contains(32));
+}
+
+/// The DRRIP set-dueling layout is fixed by geometry alone.
+#[test]
+fn drrip_duel_roles() {
+    // 4 sets → period 4: set 0 leads SRRIP, set 2 (= period/2) leads BRRIP.
+    assert_eq!(DuelRole::of_set(0, 4), DuelRole::SrripLeader);
+    assert_eq!(DuelRole::of_set(1, 4), DuelRole::Follower);
+    assert_eq!(DuelRole::of_set(2, 4), DuelRole::BrripLeader);
+    assert_eq!(DuelRole::of_set(3, 4), DuelRole::Follower);
+    // Large caches cap the period at 32.
+    assert_eq!(DuelRole::of_set(32, 4096), DuelRole::SrripLeader);
+    assert_eq!(DuelRole::of_set(16, 4096), DuelRole::BrripLeader);
+    assert_eq!(DuelRole::of_set(17, 4096), DuelRole::Follower);
+}
+
+/// DRRIP: PSEL starts at the BRRIP side, a BRRIP-leader miss flips the
+/// followers to SRRIP, SRRIP-leader misses flip them back — and prefetch
+/// fills never train. Follower mode is observed through the eviction
+/// pattern A,B,C,D → (A then C) under BRRIP vs (A then B) under SRRIP.
+#[test]
+fn drrip_exact_sequence() {
+    // 4 sets x 2 ways; set 1 and set 3 are followers.
+    let mut c = SetAssocCache::new(tiny(ReplacementPolicy::Drrip, 8, 2));
+    // Phase 1 — PSEL at init ⇒ followers run BRRIP (MAX inserts thrash).
+    assert_eq!(fill_evicting(&mut c, 1, 0), None);
+    assert_eq!(fill_evicting(&mut c, 5, 1), None);
+    assert_eq!(fill_evicting(&mut c, 9, 2), Some(1));
+    assert_eq!(fill_evicting(&mut c, 13, 3), Some(9)); // BRRIP: not 5
+                                                       // Phase 2 — one demand miss in the BRRIP leader (set 2) drops PSEL
+                                                       // below init ⇒ followers flip to SRRIP. A prefetch fill into the SRRIP
+                                                       // leader (set 0) must NOT train PSEL back.
+    assert_eq!(fill_evicting(&mut c, 2, 4), None);
+    assert!(c
+        .fill(8, FillInfo::prefetch(DataType::Structure, 5))
+        .is_none());
+    assert_eq!(fill_evicting(&mut c, 3, 6), None); // set 3, LONG insert
+    assert_eq!(fill_evicting(&mut c, 7, 7), None);
+    assert_eq!(fill_evicting(&mut c, 11, 8), Some(3));
+    assert_eq!(fill_evicting(&mut c, 15, 9), Some(7)); // SRRIP: not 11
+                                                       // Phase 3 — two demand misses in the SRRIP leader (set 0) push PSEL
+                                                       // back to/above init ⇒ followers return to BRRIP.
+    assert_eq!(fill_evicting(&mut c, 0, 10), None);
+    assert_eq!(fill_evicting(&mut c, 4, 11), Some(8));
+    assert_eq!(fill_evicting(&mut c, 17, 12), Some(13)); // set 1: way0 thrash
+    assert_eq!(fill_evicting(&mut c, 21, 13), Some(17)); // BRRIP: not 5
+}
+
+/// SHiP: a signature whose lines die unreferenced is trained to 0 and its
+/// next fill is inserted dead-on-arrival (RRPV_MAX); a reused signature is
+/// trained up and keeps LONG insertion. Inclusion invalidations do not
+/// count as dead evictions.
+#[test]
+fn ship_exact_sequence() {
+    // 1 set x 2 ways; for line < 1024 the signature is the line itself.
+    assert_eq!(ship_signature(5), 5);
+    assert_eq!(ship_signature((1 << 10) | 7), (1 << 10) >> 10 ^ 7);
+    let mut c = SetAssocCache::new(tiny(ReplacementPolicy::Ship, 2, 2));
+    assert_eq!(fill_evicting(&mut c, 1, 0), None); // SHCT[1]=init → LONG
+    assert_eq!(fill_evicting(&mut c, 2, 1), None);
+    // Line 1 evicted untouched → SHCT[1] trained down to 0.
+    assert_eq!(fill_evicting(&mut c, 3, 2), Some(1));
+    // Line 2 evicted untouched → SHCT[2] → 0; line 1 refills predicted
+    // dead (RRPV_MAX) while line 3 keeps its LONG insertion.
+    assert_eq!(fill_evicting(&mut c, 1, 3), Some(2));
+    // The dead-predicted line is the immediate victim — plain SRRIP would
+    // have aged both ways and evicted line 3 instead.
+    assert_eq!(fill_evicting(&mut c, 4, 4), Some(1));
+    // A demand hit trains SHCT[4] up past init.
+    assert!(c.touch(4, 5, DataType::Property, false).is_some());
+    assert_eq!(fill_evicting(&mut c, 6, 6), Some(3));
+    // Invalidation (inclusion victim) is NOT a dead eviction: SHCT[4]
+    // keeps its trained-up value...
+    assert!(c.invalidate(4).is_some());
+    assert_eq!(fill_evicting(&mut c, 4, 7), None); // refill into the hole
+                                                   // ...so line 4 re-enters at LONG, ties with line 6, and the aging
+                                                   // round evicts way 0 — not a dead-on-arrival line 4.
+    assert_eq!(fill_evicting(&mut c, 8, 8), Some(6));
+    assert!(c.contains(4));
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed lockstep against a naive slot-stable model.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct NaiveLine {
+    line: u64,
+    /// Recency stamp under LRU, RRPV under the RRIP family.
+    key: u64,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    ready_at: u64,
+    sig: u16,
+    reused: bool,
+}
+
+/// The policy contract restated with the simplest structures that can hold
+/// it: per-set fixed slot arrays (victim scans in way order, a new line
+/// lands in the vacated slot), one global tick, and plain policy state.
+struct NaiveCache {
+    policy: ReplacementPolicy,
+    num_sets: u64,
+    sets: Vec<Vec<Option<NaiveLine>>>,
+    tick: u64,
+    psel: u16,
+    brrip_ctr: u64,
+    shct: Vec<u8>,
+}
+
+impl NaiveCache {
+    fn new(policy: ReplacementPolicy, num_sets: u64, assoc: usize) -> Self {
+        NaiveCache {
+            policy,
+            num_sets,
+            sets: vec![vec![None; assoc]; num_sets as usize],
+            tick: 0,
+            psel: PSEL_INIT,
+            brrip_ctr: 0,
+            shct: vec![SHCT_INIT; SHCT_ENTRIES],
+        }
+    }
+
+    fn slot_of(&self, line: u64) -> (usize, Option<usize>) {
+        let s = (line % self.num_sets) as usize;
+        let pos = self.sets[s]
+            .iter()
+            .position(|l| l.is_some_and(|l| l.line == line));
+        (s, pos)
+    }
+
+    fn touch(&mut self, line: u64, now: u64, is_store: bool) -> Option<(u64, bool)> {
+        let (s, pos) = self.slot_of(line);
+        let pos = pos?;
+        let stamp = self.tick;
+        self.tick += 1;
+        let ship = self.policy == ReplacementPolicy::Ship;
+        let e = self.sets[s][pos].as_mut().unwrap();
+        if self.policy == ReplacementPolicy::Lru {
+            e.key = stamp;
+        } else {
+            e.key = 0;
+            if ship && !e.reused {
+                e.reused = true;
+                let sig = e.sig as usize;
+                self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
+            }
+        }
+        let first = e.prefetched && !e.used;
+        e.used = true;
+        e.dirty |= is_store;
+        Some((e.ready_at.max(now), first))
+    }
+
+    fn insertion_key(&mut self, line: u64, stamp: u64, prefetched: bool, set: usize) -> u64 {
+        let mut effective = self.policy;
+        if effective == ReplacementPolicy::Drrip {
+            effective = match DuelRole::of_set(set, self.num_sets as usize) {
+                DuelRole::SrripLeader => {
+                    if !prefetched {
+                        self.psel = (self.psel + 1).min(droplet_cache::policy::PSEL_MAX);
+                    }
+                    ReplacementPolicy::Srrip
+                }
+                DuelRole::BrripLeader => {
+                    if !prefetched {
+                        self.psel = self.psel.saturating_sub(1);
+                    }
+                    ReplacementPolicy::Brrip
+                }
+                DuelRole::Follower => {
+                    if self.psel >= PSEL_INIT {
+                        ReplacementPolicy::Brrip
+                    } else {
+                        ReplacementPolicy::Srrip
+                    }
+                }
+            };
+        }
+        match effective {
+            ReplacementPolicy::Lru => stamp,
+            ReplacementPolicy::Srrip => RRPV_LONG,
+            ReplacementPolicy::Brrip => {
+                self.brrip_ctr += 1;
+                if self.brrip_ctr.is_multiple_of(BRRIP_LONG_PERIOD) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+            ReplacementPolicy::Ship => {
+                if self.shct[ship_signature(line) as usize] == 0 {
+                    RRPV_MAX
+                } else {
+                    RRPV_LONG
+                }
+            }
+            ReplacementPolicy::Drrip => unreachable!(),
+        }
+    }
+
+    fn fill(
+        &mut self,
+        line: u64,
+        prefetched: bool,
+        ready_at: u64,
+        dirty: bool,
+    ) -> Option<NaiveLine> {
+        let stamp = self.tick;
+        self.tick += 1;
+        let lru = self.policy == ReplacementPolicy::Lru;
+        let (s, pos) = self.slot_of(line);
+        if let Some(pos) = pos {
+            let refresh = if lru { stamp } else { 0 };
+            let e = self.sets[s][pos].as_mut().unwrap();
+            e.key = refresh;
+            e.ready_at = e.ready_at.min(ready_at);
+            e.dirty |= dirty;
+            if !prefetched && e.prefetched && !e.used {
+                e.used = true;
+            }
+            return None;
+        }
+        let slot = match self.sets[s].iter().position(Option::is_none) {
+            Some(i) => i,
+            None if lru => {
+                // Minimum stamp, first way wins ties.
+                (0..self.sets[s].len())
+                    .min_by_key(|&i| self.sets[s][i].unwrap().key)
+                    .unwrap()
+            }
+            None => loop {
+                if let Some(i) = self.sets[s].iter().position(|l| l.unwrap().key >= RRPV_MAX) {
+                    break i;
+                }
+                for l in self.sets[s].iter_mut() {
+                    l.as_mut().unwrap().key += 1;
+                }
+            },
+        };
+        let evicted = self.sets[s][slot].take();
+        if let Some(v) = evicted {
+            if self.policy == ReplacementPolicy::Ship && !v.reused {
+                self.shct[v.sig as usize] = self.shct[v.sig as usize].saturating_sub(1);
+            }
+        }
+        let key = self.insertion_key(line, stamp, prefetched, s);
+        let sig = if self.policy == ReplacementPolicy::Ship {
+            ship_signature(line)
+        } else {
+            0
+        };
+        self.sets[s][slot] = Some(NaiveLine {
+            line,
+            key,
+            dirty,
+            prefetched,
+            used: false,
+            ready_at,
+            sig,
+            reused: false,
+        });
+        evicted
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<NaiveLine> {
+        let (s, pos) = self.slot_of(line);
+        self.sets[s][pos?].take()
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        self.slot_of(line).1.is_some()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.is_some()).count())
+            .sum()
+    }
+}
+
+const SEEDS: u64 = 16;
+const OPS_PER_SEED: u64 = 700;
+const MIN_TOTAL_OPS: u64 = 10_000;
+const LINE_SPACE: u64 = 48;
+
+/// Lockstep-fuzzes one (policy, geometry) pair; returns the op count.
+fn fuzz_policy(policy: ReplacementPolicy, lines: u64, assoc: usize) -> u64 {
+    let cfg = tiny(policy, lines, assoc);
+    let num_sets = cfg.num_sets() as u64;
+    let env = env_seed();
+    let mut total = 0u64;
+    for seed in 0..SEEDS {
+        let mut rng = TestRng::from_seed(seed ^ env.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut cache = SetAssocCache::new(cfg.clone());
+        let mut model = NaiveCache::new(policy, num_sets, assoc);
+        for i in 0..OPS_PER_SEED {
+            let op = rng.below(6);
+            let line = rng.below(LINE_SPACE);
+            let now = i;
+            let ctx = || format!("{policy} seed {seed} op #{i} ({op}) line {line}");
+            match op {
+                0 | 1 => {
+                    let is_store = op == 1;
+                    let got = cache.touch(line, now, DataType::Property, is_store);
+                    let want = model.touch(line, now, is_store);
+                    assert_eq!(
+                        got.map(|h| (h.ready_at, h.first_prefetch_use)),
+                        want,
+                        "touch {}",
+                        ctx()
+                    );
+                }
+                2 | 3 => {
+                    let dirty = op == 3;
+                    let info = if dirty {
+                        demand(now).dirty()
+                    } else {
+                        demand(now)
+                    };
+                    let got = cache.fill(line, info);
+                    let want = model.fill(line, false, now, dirty);
+                    assert_eq!(
+                        got.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        want.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        "demand fill {}",
+                        ctx()
+                    );
+                }
+                4 => {
+                    let got = cache.fill(line, FillInfo::prefetch(DataType::Structure, now + 50));
+                    let want = model.fill(line, true, now + 50, false);
+                    assert_eq!(
+                        got.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        want.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        "prefetch fill {}",
+                        ctx()
+                    );
+                }
+                _ => {
+                    let got = cache.invalidate(line);
+                    let want = model.invalidate(line);
+                    assert_eq!(
+                        got.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        want.map(|e| (e.line, e.dirty, e.prefetched, e.used)),
+                        "invalidate {}",
+                        ctx()
+                    );
+                }
+            }
+            assert_eq!(cache.contains(line), model.contains(line), "{}", ctx());
+            total += 1;
+        }
+        assert_eq!(cache.occupancy(), model.occupancy(), "{policy} seed {seed}");
+        for line in 0..LINE_SPACE {
+            assert_eq!(
+                cache.contains(line),
+                model.contains(line),
+                "{policy} seed {seed} residency of {line}"
+            );
+        }
+    }
+    total
+}
+
+/// Every policy, two eviction-heavy geometries, ≥10k ops per policy. The
+/// 4-set shapes give DRRIP a period-4 duel (leaders at sets 0 and 2).
+fn fuzz_policy_all_geometries(policy: ReplacementPolicy) {
+    let ops = fuzz_policy(policy, 8, 2) + fuzz_policy(policy, 16, 4);
+    assert!(ops >= MIN_TOTAL_OPS, "only {ops} ops fuzzed");
+}
+
+#[test]
+fn lru_matches_naive_slot_model() {
+    fuzz_policy_all_geometries(ReplacementPolicy::Lru);
+}
+
+#[test]
+fn srrip_matches_naive_slot_model() {
+    fuzz_policy_all_geometries(ReplacementPolicy::Srrip);
+}
+
+#[test]
+fn brrip_matches_naive_slot_model() {
+    fuzz_policy_all_geometries(ReplacementPolicy::Brrip);
+}
+
+#[test]
+fn drrip_matches_naive_slot_model() {
+    fuzz_policy_all_geometries(ReplacementPolicy::Drrip);
+}
+
+#[test]
+fn ship_matches_naive_slot_model() {
+    fuzz_policy_all_geometries(ReplacementPolicy::Ship);
+}

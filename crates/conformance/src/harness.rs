@@ -5,9 +5,10 @@
 
 use crate::diff::Harness;
 use crate::fuzz::TraceGen;
-use crate::reference::{RefCache, RefMshr, RefPageTable, RefTlb};
+use crate::reference::{model_for, CacheModel, RefMshr, RefPageTable, RefTlb};
 use droplet_cache::{
-    CacheConfig, CacheMutation, CacheStats, EvictedLine, FillInfo, HitInfo, SetAssocCache,
+    CacheConfig, CacheMutation, CacheStats, EvictedLine, FillInfo, HitInfo, ReplacementPolicy,
+    SetAssocCache,
 };
 use droplet_cpu::MshrFile;
 use droplet_prefetch::{AccessEvent, PrefetchRequest, Prefetcher};
@@ -26,7 +27,14 @@ pub fn small_cache_config() -> CacheConfig {
         assoc: 2,
         tag_latency: 1,
         data_latency: 2,
+        policy: ReplacementPolicy::Lru,
     }
+}
+
+/// [`small_cache_config`] under a different replacement policy (16 sets
+/// keeps both DRRIP leader constituencies populated).
+pub fn small_policy_config(policy: ReplacementPolicy) -> CacheConfig {
+    small_cache_config().with_policy(policy)
 }
 
 // ---------------------------------------------------------------------------
@@ -101,22 +109,25 @@ pub struct CacheObs {
     pub stats: CacheStats,
 }
 
-/// Production [`SetAssocCache`] vs [`RefCache`], optionally with an armed
-/// [`CacheMutation`] on the production side (the suite's self-test).
+/// Production [`SetAssocCache`] vs the reference model its configured
+/// policy calls for (`RefCache` for LRU, `RefRripCache` otherwise),
+/// optionally with an armed [`CacheMutation`] on the production side (the
+/// suite's self-test).
 pub struct CacheHarness {
     cfg: CacheConfig,
     mutation: CacheMutation,
     prod: SetAssocCache,
-    model: RefCache,
+    model: Box<dyn CacheModel>,
 }
 
 impl CacheHarness {
-    /// A harness over the given geometry; `mutation` arms a production-side
-    /// injected bug ([`CacheMutation::None`] for conformance runs).
+    /// A harness over the given geometry and policy; `mutation` arms a
+    /// production-side injected bug ([`CacheMutation::None`] for
+    /// conformance runs).
     pub fn new(cfg: CacheConfig, mutation: CacheMutation) -> Self {
         let mut h = CacheHarness {
             prod: SetAssocCache::new(cfg.clone()),
-            model: RefCache::new(&cfg),
+            model: model_for(&cfg),
             cfg,
             mutation,
         };
@@ -132,7 +143,7 @@ impl Harness for CacheHarness {
     fn reset(&mut self) {
         self.prod = SetAssocCache::new(self.cfg.clone());
         self.prod.set_test_mutation(self.mutation);
-        self.model = RefCache::new(&self.cfg);
+        self.model = model_for(&self.cfg);
     }
 
     fn apply(&mut self, op: &CacheOp) -> (CacheObs, CacheObs) {

@@ -1,11 +1,54 @@
-//! Reference set-associative cache: per-set reorder-on-touch LRU lists
+//! Reference caches for every replacement policy.
+//!
+//! [`RefCache`] is the LRU reference: per-set reorder-on-touch lists
 //! (front = LRU, back = MRU), the semantics of the seed implementation that
-//! the packed stamp-LRU rewrite must preserve. Mirrors the full observable
-//! surface of `droplet_cache::SetAssocCache`, including every statistics
-//! counter and the prefetch accuracy-tag lifecycle.
+//! the packed stamp-LRU rewrite must preserve. [`RefRripCache`] is the
+//! RRIP-family reference ([`RefSrrip`]/[`RefBrrip`]/[`RefDrrip`]/[`RefShip`]):
+//! slot-stable per-set arrays carrying naive per-line RRPVs, signatures,
+//! and outcome bits, written against the policy contract in
+//! `droplet_cache::policy` rather than the production code. Both mirror the
+//! full observable surface of `droplet_cache::SetAssocCache`, including
+//! every statistics counter and the prefetch accuracy-tag lifecycle, and
+//! both sit behind the [`CacheModel`] trait so one harness drives them all.
 
+use droplet_cache::policy::{
+    ship_signature, DuelRole, ReplacementPolicy, BRRIP_LONG_PERIOD, PSEL_INIT, PSEL_MAX, RRPV_LONG,
+    RRPV_MAX, SHCT_ENTRIES, SHCT_INIT, SHCT_MAX,
+};
 use droplet_cache::{CacheConfig, CacheStats, EvictedLine, FillInfo, HitInfo};
 use droplet_trace::{Cycle, DataType};
+
+/// The observable cache surface shared by every reference model, so the
+/// conformance harness can pair the production cache with whichever
+/// reference the configured policy calls for.
+pub trait CacheModel: std::fmt::Debug {
+    /// Contract of `SetAssocCache::touch`.
+    fn touch(&mut self, line: u64, now: Cycle, dtype: DataType, is_store: bool) -> Option<HitInfo>;
+    /// Contract of `SetAssocCache::fill`.
+    fn fill(&mut self, line: u64, info: FillInfo) -> Option<EvictedLine>;
+    /// Contract of `SetAssocCache::invalidate`.
+    fn invalidate(&mut self, line: u64) -> Option<EvictedLine>;
+    /// Contract of `SetAssocCache::take_tracked`.
+    fn take_tracked(&mut self, line: u64) -> Option<DataType>;
+    /// Contract of `SetAssocCache::mark_tracked`.
+    fn mark_tracked(&mut self, line: u64, dtype: DataType) -> bool;
+    /// Contract of `SetAssocCache::has_tracked`.
+    fn has_tracked(&self) -> bool;
+    /// Contract of `SetAssocCache::contains`.
+    fn contains(&self, line: u64) -> bool;
+    /// Contract of `SetAssocCache::occupancy`.
+    fn occupancy(&self) -> usize;
+    /// Accumulated statistics (compared verbatim against production).
+    fn stats(&self) -> &CacheStats;
+}
+
+/// The reference model for `cfg.policy`.
+pub fn model_for(cfg: &CacheConfig) -> Box<dyn CacheModel> {
+    match cfg.policy {
+        ReplacementPolicy::Lru => Box::new(RefCache::new(cfg)),
+        _ => Box::new(RefRripCache::new(cfg)),
+    }
+}
 
 /// One resident line with all its payload bits.
 #[derive(Debug, Clone, Copy)]
@@ -197,3 +240,333 @@ impl RefCache {
         self.sets.iter().map(Vec::len).sum()
     }
 }
+
+impl CacheModel for RefCache {
+    fn touch(&mut self, line: u64, now: Cycle, dtype: DataType, is_store: bool) -> Option<HitInfo> {
+        RefCache::touch(self, line, now, dtype, is_store)
+    }
+    fn fill(&mut self, line: u64, info: FillInfo) -> Option<EvictedLine> {
+        RefCache::fill(self, line, info)
+    }
+    fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        RefCache::invalidate(self, line)
+    }
+    fn take_tracked(&mut self, line: u64) -> Option<DataType> {
+        RefCache::take_tracked(self, line)
+    }
+    fn mark_tracked(&mut self, line: u64, dtype: DataType) -> bool {
+        RefCache::mark_tracked(self, line, dtype)
+    }
+    fn has_tracked(&self) -> bool {
+        RefCache::has_tracked(self)
+    }
+    fn contains(&self, line: u64) -> bool {
+        RefCache::contains(self, line)
+    }
+    fn occupancy(&self) -> usize {
+        RefCache::occupancy(self)
+    }
+    fn stats(&self) -> &CacheStats {
+        RefCache::stats(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RRIP family
+// ---------------------------------------------------------------------------
+
+/// One resident line in the RRIP reference: the [`RefLine`] payload plus
+/// naive per-line replacement state.
+#[derive(Debug, Clone, Copy)]
+struct RefRripLine {
+    line: u64,
+    dtype: DataType,
+    ready_at: Cycle,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    tracked: Option<DataType>,
+    /// 2-bit re-reference prediction value.
+    rrpv: u64,
+    /// SHiP region signature recorded at fill.
+    sig: u16,
+    /// SHiP outcome bit: re-referenced since fill.
+    reused: bool,
+}
+
+/// The RRIP-family reference cache (SRRIP, BRRIP, DRRIP, SHiP).
+///
+/// Ways are *slot-stable*: each set is a fixed array of `assoc` optional
+/// lines, a new line lands in the slot its victim vacated, and victim scans
+/// run in slot order — the physical-way tie-breaking the production flat
+/// arrays exhibit, modeled directly instead of with reorder-on-touch lists.
+#[derive(Debug)]
+pub struct RefRripCache {
+    policy: ReplacementPolicy,
+    num_sets: u64,
+    sets: Vec<Vec<Option<RefRripLine>>>,
+    /// DRRIP selector (≥ [`PSEL_INIT`] ⇒ followers insert BRRIP-style).
+    psel: u16,
+    /// Deterministic BRRIP bimodal counter.
+    brrip_ctr: u64,
+    /// SHiP signature history counter table.
+    shct: Vec<u8>,
+    stats: CacheStats,
+}
+
+impl RefRripCache {
+    /// An empty reference with the geometry and policy of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.policy` is [`ReplacementPolicy::Lru`] — that contract
+    /// belongs to [`RefCache`].
+    pub fn new(cfg: &CacheConfig) -> Self {
+        assert!(
+            cfg.policy.is_rrip_family(),
+            "RefRripCache models the RRIP family; use RefCache for LRU"
+        );
+        RefRripCache {
+            policy: cfg.policy,
+            num_sets: cfg.num_sets() as u64,
+            sets: vec![vec![None; cfg.assoc]; cfg.num_sets()],
+            psel: PSEL_INIT,
+            brrip_ctr: 0,
+            shct: vec![SHCT_INIT; SHCT_ENTRIES],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accumulated statistics (compared verbatim against production).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn evicted(e: RefRripLine) -> EvictedLine {
+        EvictedLine {
+            line: e.line,
+            dirty: e.dirty,
+            prefetched: e.prefetched,
+            used: e.used,
+            dtype: e.dtype,
+            tracked: e.tracked,
+        }
+    }
+
+    fn slot_of(&self, line: u64) -> (usize, Option<usize>) {
+        let s = (line % self.num_sets) as usize;
+        let pos = self.sets[s]
+            .iter()
+            .position(|l| l.is_some_and(|l| l.line == line));
+        (s, pos)
+    }
+
+    /// Insertion RRPV for a new line, advancing PSEL / bimodal state — the
+    /// policy contract (`droplet_cache::policy`) restated naively: victim
+    /// SHCT training has already happened when this runs.
+    fn insertion_rrpv(&mut self, line: u64, prefetched: bool) -> u64 {
+        let set = (line % self.num_sets) as usize;
+        let effective = match self.policy {
+            ReplacementPolicy::Drrip => {
+                let role = DuelRole::of_set(set, self.num_sets as usize);
+                if !prefetched {
+                    match role {
+                        DuelRole::SrripLeader => self.psel = (self.psel + 1).min(PSEL_MAX),
+                        DuelRole::BrripLeader => self.psel = self.psel.saturating_sub(1),
+                        DuelRole::Follower => {}
+                    }
+                }
+                match role {
+                    DuelRole::SrripLeader => ReplacementPolicy::Srrip,
+                    DuelRole::BrripLeader => ReplacementPolicy::Brrip,
+                    DuelRole::Follower => {
+                        if self.psel >= PSEL_INIT {
+                            ReplacementPolicy::Brrip
+                        } else {
+                            ReplacementPolicy::Srrip
+                        }
+                    }
+                }
+            }
+            p => p,
+        };
+        match effective {
+            ReplacementPolicy::Brrip => {
+                self.brrip_ctr += 1;
+                if self.brrip_ctr.is_multiple_of(BRRIP_LONG_PERIOD) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+            ReplacementPolicy::Ship => {
+                if self.shct[ship_signature(line) as usize] == 0 {
+                    RRPV_MAX
+                } else {
+                    RRPV_LONG
+                }
+            }
+            _ => RRPV_LONG, // SRRIP
+        }
+    }
+}
+
+impl CacheModel for RefRripCache {
+    /// A hit promotes to RRPV 0; under SHiP the first re-reference also
+    /// trains the line's signature up (once, via the outcome bit).
+    fn touch(&mut self, line: u64, now: Cycle, dtype: DataType, is_store: bool) -> Option<HitInfo> {
+        self.stats.demand_accesses.bump(dtype);
+        let ship = self.policy == ReplacementPolicy::Ship;
+        let (s, pos) = self.slot_of(line);
+        let e = self.sets[s][pos?].as_mut().unwrap();
+        e.rrpv = 0;
+        if ship && !e.reused {
+            e.reused = true;
+            let c = &mut self.shct[e.sig as usize];
+            *c = (*c + 1).min(SHCT_MAX);
+        }
+        let first_prefetch_use = e.prefetched && !e.used;
+        e.used = true;
+        e.dirty |= is_store;
+        let ready_at = e.ready_at.max(now);
+        self.stats.demand_hits.bump(dtype);
+        if first_prefetch_use {
+            self.stats.prefetch_first_uses.bump(dtype);
+        }
+        if ready_at > now {
+            self.stats.late_prefetch_hits.bump(dtype);
+        }
+        Some(HitInfo {
+            ready_at,
+            first_prefetch_use,
+        })
+    }
+
+    /// A refresh promotes to RRPV 0 without touching SHiP state; a new
+    /// line takes the first free slot, else the lowest-indexed way at
+    /// [`RRPV_MAX`] after aging. A victim evicted dead trains its signature
+    /// down *before* the incoming line's insertion depth is predicted.
+    fn fill(&mut self, line: u64, info: FillInfo) -> Option<EvictedLine> {
+        if info.prefetched {
+            self.stats.prefetch_fills.bump(info.dtype);
+        } else {
+            self.stats.demand_fills.bump(info.dtype);
+        }
+        let ship = self.policy == ReplacementPolicy::Ship;
+        let (s, pos) = self.slot_of(line);
+        if let Some(pos) = pos {
+            let e = self.sets[s][pos].as_mut().unwrap();
+            e.rrpv = 0;
+            e.ready_at = e.ready_at.min(info.ready_at);
+            e.dirty |= info.dirty;
+            if info.track && e.tracked.is_none() {
+                e.tracked = Some(info.dtype);
+            }
+            if !info.prefetched && e.prefetched && !e.used {
+                e.used = true;
+                let resident_dtype = e.dtype;
+                self.stats.prefetch_first_uses.bump(resident_dtype);
+            }
+            return None;
+        }
+        let slot = match self.sets[s].iter().position(Option::is_none) {
+            Some(free) => free,
+            None => loop {
+                let found = self.sets[s]
+                    .iter()
+                    .position(|l| l.unwrap().rrpv >= RRPV_MAX);
+                match found {
+                    Some(i) => break i,
+                    None => {
+                        for l in self.sets[s].iter_mut() {
+                            l.as_mut().unwrap().rrpv += 1;
+                        }
+                    }
+                }
+            },
+        };
+        let evicted = self.sets[s][slot].take();
+        if let Some(v) = evicted {
+            if v.prefetched && !v.used {
+                self.stats.prefetch_unused_evictions.bump(v.dtype);
+            }
+            if ship && !v.reused {
+                let c = &mut self.shct[v.sig as usize];
+                *c = c.saturating_sub(1);
+            }
+        }
+        let rrpv = self.insertion_rrpv(line, info.prefetched);
+        self.sets[s][slot] = Some(RefRripLine {
+            line,
+            dtype: info.dtype,
+            ready_at: info.ready_at,
+            dirty: info.dirty,
+            prefetched: info.prefetched,
+            used: false,
+            tracked: info.track.then_some(info.dtype),
+            rrpv,
+            sig: if ship { ship_signature(line) } else { 0 },
+            reused: false,
+        });
+        evicted.map(Self::evicted)
+    }
+
+    /// Invalidation frees the slot without SHCT training (back-invalidation
+    /// is not a replacement decision, so it must not teach the predictor).
+    fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        let (s, pos) = self.slot_of(line);
+        let v = self.sets[s][pos?].take().unwrap();
+        self.stats.inclusion_invalidations += 1;
+        if v.prefetched && !v.used {
+            self.stats.prefetch_unused_evictions.bump(v.dtype);
+        }
+        Some(Self::evicted(v))
+    }
+
+    fn take_tracked(&mut self, line: u64) -> Option<DataType> {
+        let (s, pos) = self.slot_of(line);
+        self.sets[s][pos?].as_mut().unwrap().tracked.take()
+    }
+
+    fn mark_tracked(&mut self, line: u64, dtype: DataType) -> bool {
+        let (s, pos) = self.slot_of(line);
+        match pos {
+            Some(pos) => {
+                let e = self.sets[s][pos].as_mut().unwrap();
+                if e.tracked.is_none() {
+                    e.tracked = Some(dtype);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn has_tracked(&self) -> bool {
+        self.sets
+            .iter()
+            .flatten()
+            .any(|l| l.is_some_and(|l| l.tracked.is_some()))
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        self.slot_of(line).1.is_some()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.is_some()).count()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+/// [`RefRripCache`] under a SRRIP configuration.
+pub type RefSrrip = RefRripCache;
+/// [`RefRripCache`] under a BRRIP configuration.
+pub type RefBrrip = RefRripCache;
+/// [`RefRripCache`] under a DRRIP configuration.
+pub type RefDrrip = RefRripCache;
+/// [`RefRripCache`] under a SHiP configuration.
+pub type RefShip = RefRripCache;

@@ -14,7 +14,9 @@ pub mod page;
 pub mod prefetch;
 pub mod tlb;
 
-pub use cache::RefCache;
+pub use cache::{
+    model_for, CacheModel, RefBrrip, RefCache, RefDrrip, RefRripCache, RefShip, RefSrrip,
+};
 pub use mshr::RefMshr;
 pub use page::RefPageTable;
 pub use prefetch::{RefGhb, RefNextLine, RefStream, RefVldp};

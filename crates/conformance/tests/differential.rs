@@ -8,10 +8,10 @@
 use conformance::fuzz_and_verify;
 use conformance::harness::{
     gen_cache_ops, gen_mshr_ops, gen_page_ops, gen_pf_ops, gen_tlb_ops, small_cache_config,
-    CacheHarness, MshrHarness, PageHarness, PrefetchHarness, TlbHarness,
+    small_policy_config, CacheHarness, MshrHarness, PageHarness, PrefetchHarness, TlbHarness,
 };
 use conformance::reference::{RefGhb, RefNextLine, RefStream, RefVldp};
-use droplet_cache::CacheMutation;
+use droplet_cache::{CacheMutation, ReplacementPolicy};
 use droplet_prefetch::{
     GhbConfig, GhbPrefetcher, NextLinePrefetcher, StreamConfig, StreamPrefetcher, VldpConfig,
     VldpPrefetcher,
@@ -30,6 +30,41 @@ fn cache_matches_reference() {
         "only {} ops fuzzed",
         report.ops
     );
+}
+
+/// Every non-LRU replacement policy in lockstep against [`RefRripCache`]
+/// (via `model_for`): same observables as the LRU run — hit/miss, evicted
+/// line identity and flags, residency, occupancy, stats — over the same
+/// graph-shaped op streams.
+fn policy_matches_reference(policy: ReplacementPolicy) {
+    let mut h = CacheHarness::new(small_policy_config(policy), CacheMutation::None);
+    let name = format!("cache-{policy}");
+    let report = fuzz_and_verify(&mut h, &name, SEEDS, OPS_PER_SEED, gen_cache_ops);
+    assert!(
+        report.ops >= MIN_TOTAL_OPS,
+        "only {} ops fuzzed",
+        report.ops
+    );
+}
+
+#[test]
+fn srrip_cache_matches_reference() {
+    policy_matches_reference(ReplacementPolicy::Srrip);
+}
+
+#[test]
+fn brrip_cache_matches_reference() {
+    policy_matches_reference(ReplacementPolicy::Brrip);
+}
+
+#[test]
+fn drrip_cache_matches_reference() {
+    policy_matches_reference(ReplacementPolicy::Drrip);
+}
+
+#[test]
+fn ship_cache_matches_reference() {
+    policy_matches_reference(ReplacementPolicy::Ship);
 }
 
 #[test]

@@ -4,15 +4,16 @@
 //! repro. A fuzzer that cannot catch a flipped LRU or a stale refresh is not
 //! protecting anything.
 
-use conformance::harness::{gen_cache_ops, small_cache_config, CacheHarness};
+use conformance::harness::{gen_cache_ops, small_cache_config, small_policy_config, CacheHarness};
 use conformance::{run_lockstep, shrink};
-use droplet_cache::CacheMutation;
+use droplet_cache::{CacheConfig, CacheMutation, ReplacementPolicy};
 use proptest::TestRng;
 
 /// Finds a diverging stream for the mutated cache, shrinks it, and checks
-/// the repro is tiny and still diverges.
-fn catch_and_shrink(mutation: CacheMutation) {
-    let mut h = CacheHarness::new(small_cache_config(), mutation);
+/// the repro is tiny and still diverges. The config picks the policy the
+/// mutation lives under — `RripPromoteFlip` is dead code in an LRU cache.
+fn catch_and_shrink_in(cfg: CacheConfig, mutation: CacheMutation) {
+    let mut h = CacheHarness::new(cfg, mutation);
     for seed in 0..64u64 {
         let mut rng = TestRng::from_seed(seed);
         let ops = gen_cache_ops(&mut rng, 700);
@@ -34,6 +35,10 @@ fn catch_and_shrink(mutation: CacheMutation) {
     panic!("{mutation:?}: injected bug never caught in 64 fuzzed streams");
 }
 
+fn catch_and_shrink(mutation: CacheMutation) {
+    catch_and_shrink_in(small_cache_config(), mutation);
+}
+
 #[test]
 fn lru_flip_is_caught_and_shrunk() {
     catch_and_shrink(CacheMutation::LruFlip);
@@ -42,6 +47,30 @@ fn lru_flip_is_caught_and_shrunk() {
 #[test]
 fn stale_refresh_is_caught_and_shrunk() {
     catch_and_shrink(CacheMutation::StaleRefresh);
+}
+
+/// A hit that demotes to RRPV_MAX instead of promoting to 0 must surface as
+/// an eviction-order divergence under every RRIP-family policy.
+#[test]
+fn rrip_promote_flip_is_caught_and_shrunk() {
+    for policy in [
+        ReplacementPolicy::Srrip,
+        ReplacementPolicy::Brrip,
+        ReplacementPolicy::Drrip,
+        ReplacementPolicy::Ship,
+    ] {
+        catch_and_shrink_in(small_policy_config(policy), CacheMutation::RripPromoteFlip);
+    }
+}
+
+/// A fill that records the vacated slot's stale signature poisons both SHCT
+/// training and the insertion prediction of later fills with that line.
+#[test]
+fn ship_stale_signature_is_caught_and_shrunk() {
+    catch_and_shrink_in(
+        small_policy_config(ReplacementPolicy::Ship),
+        CacheMutation::ShipStaleSignature,
+    );
 }
 
 /// Sanity: with no mutation armed the very same streams are divergence-free

@@ -18,6 +18,7 @@ use droplet::trace::{columnar, open_columnar, TraceSource};
 use droplet::{
     run_sweep, run_workload, run_workload_from, PrefetcherKind, RunResult, SweepCell, WorkloadSpec,
 };
+use droplet_cache::ReplacementPolicy;
 use droplet_gap::Algorithm;
 use droplet_graph::{Dataset, DatasetScale, DegreeStats};
 use droplet_trace::DataType;
@@ -28,8 +29,9 @@ fn usage() -> ! {
          \x20                   [--prefetcher <none|ghb|vldp|stream|streammpp1|droplet|mono|adaptive>]\n\
          \x20                   [--scale <tiny|small|sim>] [--budget <ops>] [--threads <n>]\n\
          \x20                   [--obs <journal.jsonl>] [--epoch-ops <n>] [--fork-sweep|--no-fork]\n\
+         \x20                   [--l1-policy|--l2-policy|--l3-policy <lru|srrip|brrip|drrip|ship>]\n\
          \x20 droplet-sim sweep --algo <...> --dataset <...> [--scale <...>] [--budget <ops>] [--threads <n>]\n\
-         \x20                   [--fork-sweep|--no-fork]\n\
+         \x20                   [--fork-sweep|--no-fork] [--l3-policy <...>]\n\
          \x20 droplet-sim trace save --algo <...> --dataset <...> [--scale <...>] [--budget <ops>]\n\
          \x20                   --trace-file <artifact.dcol>\n\
          \x20 droplet-sim trace load --algo <...> --dataset <...> [--scale <...>] [--budget <ops>]\n\
@@ -39,7 +41,8 @@ fn usage() -> ! {
          \x20 --obs enables epoch sampling and writes the JSONL run journal there\n\
          \x20 --epoch-ops sets retired ops per epoch (default 10000; implies sampling was wanted)\n\
          \x20 --fork-sweep/--no-fork: share one warm-up simulation across same-hierarchy configs\n\
-         \x20   (default: on for multi-config invocations; results are bit-identical either way)"
+         \x20   (default: on for multi-config invocations; results are bit-identical either way)\n\
+         \x20 --l1-policy/--l2-policy/--l3-policy: replacement policy per level (default lru)"
     );
     std::process::exit(2);
 }
@@ -90,6 +93,10 @@ fn parse_scale(s: &str) -> DatasetScale {
     }
 }
 
+fn parse_policy(s: &str) -> ReplacementPolicy {
+    ReplacementPolicy::parse(s).unwrap_or_else(|| usage())
+}
+
 #[derive(Default)]
 struct Args {
     algo: Option<Algorithm>,
@@ -102,6 +109,25 @@ struct Args {
     epoch_ops: Option<u64>,
     fork: Option<bool>,
     trace_file: Option<String>,
+    l1_policy: Option<ReplacementPolicy>,
+    l2_policy: Option<ReplacementPolicy>,
+    l3_policy: Option<ReplacementPolicy>,
+}
+
+impl Args {
+    /// Applies the per-level replacement-policy overrides to `base`.
+    fn apply_policies(&self, mut base: droplet::SystemConfig) -> droplet::SystemConfig {
+        if let Some(p) = self.l1_policy {
+            base = base.with_l1_policy(p);
+        }
+        if let Some(p) = self.l2_policy {
+            base = base.with_l2_policy(p);
+        }
+        if let Some(p) = self.l3_policy {
+            base = base.with_l3_policy(p);
+        }
+        base
+    }
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -131,6 +157,9 @@ fn parse_flags(rest: &[String]) -> Args {
             "--obs" => args.obs_path = Some(value.clone()),
             "--epoch-ops" => args.epoch_ops = Some(value.parse().unwrap_or_else(|_| usage())),
             "--trace-file" => args.trace_file = Some(value.clone()),
+            "--l1-policy" => args.l1_policy = Some(parse_policy(value)),
+            "--l2-policy" => args.l2_policy = Some(parse_policy(value)),
+            "--l3-policy" => args.l3_policy = Some(parse_policy(value)),
             _ => usage(),
         }
     }
@@ -239,6 +268,7 @@ fn cmd_info() {
     println!("algorithms:   bc bfs pr sssp cc          (paper Table II)");
     println!("datasets:     kron urand orkut livejournal road  (paper Table III)");
     println!("prefetchers:  none ghb vldp stream streammpp1 droplet mono adaptive");
+    println!("policies:     lru srrip brrip drrip ship     (per level: --l1/--l2/--l3-policy)");
     println!("scales:       tiny (~8K vertices) small (~32K) sim (~1-2M, Table I hierarchy)");
     println!();
     for d in Dataset::ALL {
@@ -319,11 +349,11 @@ fn cmd_trace(sub: &str, args: &Args) {
                 }
             );
             let kind = args.prefetcher.unwrap_or(PrefetcherKind::Droplet);
-            let cfg = if kind == PrefetcherKind::None {
+            let cfg = args.apply_policies(if kind == PrefetcherKind::None {
                 ctx.base.clone()
             } else {
                 ctx.base.with_prefetcher(kind)
-            };
+            });
             let r = run_workload_from(&mut source, &bundle, &cfg, ctx.warmup);
             report(&format!("{} (columnar replay)", kind.name()), &r);
         }
@@ -361,6 +391,7 @@ fn main() {
             if args.obs_path.is_some() || args.epoch_ops.is_some() {
                 ctx.base.obs = Some(ObsConfig::every(args.epoch_ops.unwrap_or(10_000)));
             }
+            ctx.base = args.apply_policies(ctx.base.clone());
             let spec = WorkloadSpec {
                 algorithm: algo,
                 dataset,

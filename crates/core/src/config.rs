@@ -1,7 +1,7 @@
 //! Whole-system configuration: the Table I baseline plus the six prefetcher
 //! configurations of Section VII-A.
 
-use droplet_cache::CacheConfig;
+use droplet_cache::{CacheConfig, ReplacementPolicy};
 use droplet_cpu::CoreConfig;
 use droplet_mem::DramConfig;
 use droplet_obs::ObsConfig;
@@ -199,6 +199,29 @@ impl SystemConfig {
         self
     }
 
+    /// Swaps the LLC replacement policy (the policy-laboratory study).
+    /// Flows into `warmup_key`/`config_hash` via the cache config's Debug
+    /// form, so differently-policied runs never share a fork warm-up.
+    #[must_use]
+    pub fn with_l3_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.l3 = self.l3.with_policy(policy);
+        self
+    }
+
+    /// Swaps the L2 replacement policy; a no-op when the L2 is removed.
+    #[must_use]
+    pub fn with_l2_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.l2 = self.l2.map(|c| c.with_policy(policy));
+        self
+    }
+
+    /// Swaps the L1D replacement policy.
+    #[must_use]
+    pub fn with_l1_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.l1 = self.l1.with_policy(policy);
+        self
+    }
+
     /// Enables epoch-sampling observability with the given configuration.
     #[must_use]
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
@@ -270,6 +293,7 @@ impl SystemConfig {
             assoc: 8,
             tag_latency: 1,
             data_latency: 4,
+            policy: ReplacementPolicy::Lru,
         };
         cfg.l2 = Some(CacheConfig {
             name: "L2",
@@ -277,6 +301,7 @@ impl SystemConfig {
             assoc: 8,
             tag_latency: 3,
             data_latency: 8,
+            policy: ReplacementPolicy::Lru,
         });
         cfg.l3 = CacheConfig {
             name: "L3",
@@ -284,6 +309,7 @@ impl SystemConfig {
             assoc: 16,
             tag_latency: 10,
             data_latency: 30,
+            policy: ReplacementPolicy::Lru,
         };
         // Tiny datasets have few pages; scale the stream trackers down too
         // so tracker contention (Section V-B1) stays observable.

@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod cache_sweeps;
 pub mod characterization;
+pub mod policy_study;
 pub mod prefetch_study;
 pub mod reuse;
 
@@ -16,6 +17,9 @@ pub use cache_sweeps::{fig04a_llc_sweep, fig04b_l2_sweep, fig04c_offchip_by_type
 pub use characterization::{
     fig01_cycle_stack, fig03_rob_sweep, fig05_06_chains, fig07_hierarchy_usage,
 };
+pub use policy_study::{
+    run_policy_study, run_policy_study_on, PolicyLevel, PolicyStudy, PolicyStudyRow, STUDY_POLICIES,
+};
 pub use prefetch_study::{PrefetchStudy, StudyRow};
 pub use reuse::tab_reuse_distances;
 
@@ -23,7 +27,7 @@ use crate::config::SystemConfig;
 use crate::datasets::WorkloadSpec;
 use crate::pool::JobPool;
 use crate::trace_cache::TraceCache;
-use droplet_cache::CacheConfig;
+use droplet_cache::{CacheConfig, ReplacementPolicy};
 use droplet_gap::TraceBundle;
 use droplet_graph::DatasetScale;
 use std::sync::Arc;
@@ -87,6 +91,7 @@ impl ExperimentCtx {
                     assoc: 8,
                     tag_latency: 1,
                     data_latency: 4,
+                    policy: ReplacementPolicy::Lru,
                 };
                 cfg.l2 = Some(CacheConfig {
                     name: "L2",
@@ -94,6 +99,7 @@ impl ExperimentCtx {
                     assoc: 8,
                     tag_latency: 3,
                     data_latency: 8,
+                    policy: ReplacementPolicy::Lru,
                 });
                 cfg.l3 = CacheConfig {
                     name: "L3",
@@ -101,6 +107,7 @@ impl ExperimentCtx {
                     assoc: 16,
                     tag_latency: 10,
                     data_latency: 30,
+                    policy: ReplacementPolicy::Lru,
                 };
                 cfg.stream.trackers = 16;
                 // Prefetch lookahead scales with L2 turnover (see the
@@ -155,6 +162,7 @@ impl ExperimentCtx {
                 assoc: self.base.l3.assoc,
                 tag_latency: lat[i].0,
                 data_latency: lat[i].1,
+                policy: self.base.l3.policy,
             })
             .collect()
     }
@@ -169,6 +177,7 @@ impl ExperimentCtx {
             assoc,
             tag_latency: base.tag_latency,
             data_latency: base.data_latency,
+            policy: base.policy,
         };
         let b = base.size_bytes;
         let label = |bytes: u64, assoc: usize| format!("{}KB/{}w", bytes / 1024, assoc);

@@ -80,7 +80,7 @@ impl ReuseTable {
 /// Observation #6 as "a cacheline missed in L1 is one that was referenced
 /// in the distant past", so short same-line reuse (which the L1 absorbs)
 /// must be filtered out before measuring stack distances.
-fn l1_filtered_profile(
+pub(crate) fn l1_filtered_profile(
     ops: &[droplet_trace::MemOp],
     l1: &droplet_cache::CacheConfig,
 ) -> ReuseProfiler {

@@ -1312,6 +1312,12 @@ pub(crate) fn assemble_result(
     let boundary = system.warmup_boundary;
     let config_hash = config_hash(cfg);
     let prefetcher = cfg.prefetcher.name().to_string();
+    let policies = format!(
+        "{}/{}/{}",
+        cfg.l1.policy.name(),
+        cfg.l2.as_ref().map_or("-", |c| c.policy.name()),
+        cfg.l3.policy.name()
+    );
     let trace_ops = shape.trace_ops;
     let epoch_ops = cfg.obs.map(|o| o.epoch_ops);
     let prefetch_home_is_l1 = cfg.prefetcher.monolithic_l1();
@@ -1319,6 +1325,7 @@ pub(crate) fn assemble_result(
     let manifest = RunManifest {
         config_hash,
         prefetcher,
+        policies,
         workload: None,
         trace_ops,
         warmup_requested: shape.warmup_requested,

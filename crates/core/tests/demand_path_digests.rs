@@ -500,3 +500,131 @@ fn digests_are_thread_count_invariant() {
         );
     }
 }
+
+/// The four non-LRU replacement policies of the policy laboratory. The
+/// default-LRU goldens above double as the seam's no-regression proof: they
+/// were captured before the `ReplacementPolicy` seam existed and still must
+/// match bit-exactly.
+const POLICIES: [droplet::cache::ReplacementPolicy; 4] = [
+    droplet::cache::ReplacementPolicy::Srrip,
+    droplet::cache::ReplacementPolicy::Brrip,
+    droplet::cache::ReplacementPolicy::Drrip,
+    droplet::cache::ReplacementPolicy::Ship,
+];
+
+/// Every policy must be run-to-run deterministic and thread-count
+/// invariant — the same LLC-policy run serially, twice, and on a 4-worker
+/// pool produces one digest. Also pins the manifest's policy triple.
+#[test]
+fn policy_digests_are_deterministic_and_thread_invariant() {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Arc::new(Algorithm::Pr.trace(&g, 60_000));
+    let base = SystemConfig::test_scale().with_prefetcher(PrefetcherKind::Droplet);
+
+    let jobs = |pool: JobPool| -> Vec<u64> {
+        pool.run(
+            POLICIES
+                .iter()
+                .map(|&p| {
+                    let bundle = Arc::clone(&bundle);
+                    let cfg = base.clone().with_l3_policy(p).with_l2_policy(p);
+                    move || digest(&run_workload(&bundle, &cfg, 2_000))
+                })
+                .collect(),
+        )
+    };
+
+    let first = jobs(JobPool::with_threads(1));
+    let again = jobs(JobPool::with_threads(1));
+    let parallel = jobs(JobPool::with_threads(4));
+    for ((&p, f), (a, par)) in POLICIES.iter().zip(&first).zip(again.iter().zip(&parallel)) {
+        assert_eq!(f, a, "{p}: rerun digest drifted");
+        assert_eq!(f, par, "{p}: 4-thread digest drifted");
+    }
+
+    let r = run_workload(
+        &bundle,
+        &base
+            .clone()
+            .with_l3_policy(droplet::cache::ReplacementPolicy::Ship),
+        2_000,
+    );
+    assert_eq!(r.manifest.policies, "LRU/LRU/SHiP");
+}
+
+/// Forked measurement under every policy: a warmed snapshot of a
+/// policy-bearing hierarchy replayed through `run_forked` digests
+/// bit-identically to the from-scratch run — RRIP state (RRPVs, PSEL, the
+/// bimodal counter, the SHCT) must survive the snapshot/fork boundary.
+#[test]
+fn forked_policy_runs_digest_identically_to_full_replay() {
+    use droplet::warm_snapshot;
+
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Pr.trace(&g, 120_000);
+    let warmup = 20_000;
+    for &p in &POLICIES {
+        let base = SystemConfig::test_scale().with_l3_policy(p);
+        let snap = warm_snapshot(&bundle, &base, warmup);
+        for kind in [PrefetcherKind::None, PrefetcherKind::Droplet] {
+            let cfg = base.with_prefetcher(kind);
+            let forked = droplet::run_forked(&bundle, &snap, &cfg);
+            let scratch = run_workload(&bundle, &cfg, warmup);
+            assert_eq!(
+                digest(&forked),
+                digest(&scratch),
+                "{p}/{}: forked digest diverged from full replay",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// A mixed-policy sweep must be fork-safe: configurations with different
+/// LLC policies have different warm-up keys, so `run_sweep` may only share
+/// snapshots within a policy group — and forked results still match the
+/// unforked sweep bit-for-bit.
+#[test]
+fn mixed_policy_sweep_forks_safely() {
+    use droplet::{run_sweep, SweepCell};
+
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Arc::new(Algorithm::Pr.trace(&g, 60_000));
+    // Two cells per policy (baseline + DROPLET) so each policy group has a
+    // shareable warm-up, interleaved so grouping has to work by key rather
+    // than adjacency. LRU rides along as the fifth policy.
+    let mut cells = Vec::new();
+    let mut all = vec![droplet::cache::ReplacementPolicy::Lru];
+    all.extend(POLICIES);
+    for &p in &all {
+        for kind in [PrefetcherKind::None, PrefetcherKind::Droplet] {
+            cells.push(SweepCell {
+                bundle: Arc::clone(&bundle),
+                cfg: SystemConfig::test_scale()
+                    .with_l3_policy(p)
+                    .with_prefetcher(kind),
+            });
+        }
+    }
+    let pool = JobPool::with_threads(4);
+    let forked = run_sweep(&pool, &cells, 2_000, true);
+    let scratch = run_sweep(&pool, &cells, 2_000, false);
+    for ((cell, f), s) in cells.iter().zip(&forked).zip(&scratch) {
+        assert_eq!(
+            digest(f),
+            digest(s),
+            "{}/{}: forked sweep digest diverged",
+            cell.cfg.l3.policy,
+            cell.cfg.prefetcher.name()
+        );
+    }
+    // The fork actually engaged: every policy group shares one warm-up.
+    assert!(
+        forked
+            .iter()
+            .filter(|r| r.manifest.forked_from.is_some())
+            .count()
+            >= all.len(),
+        "expected at least one forked run per policy group"
+    );
+}

@@ -484,6 +484,9 @@ pub struct RunManifest {
     pub config_hash: u64,
     /// Prefetcher configuration name.
     pub prefetcher: String,
+    /// Per-level replacement policies, L1/L2/L3 (e.g. "LRU/LRU/SHiP";
+    /// a removed L2 renders as "-").
+    pub policies: String,
     /// Workload label ("PR-kron"), when the caller knows it.
     pub workload: Option<String>,
     /// Trace length in ops.
@@ -538,6 +541,7 @@ impl RunManifest {
                 json::quote(&format!("{:016x}", self.config_hash)),
             ),
             ("prefetcher".into(), json::quote(&self.prefetcher)),
+            ("policies".into(), json::quote(&self.policies)),
             ("workload".into(), opt_json(&self.workload, true)),
             ("trace_ops".into(), self.trace_ops.to_string()),
             ("warmup_requested".into(), self.warmup_requested.to_string()),

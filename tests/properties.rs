@@ -53,6 +53,7 @@ proptest! {
             assoc: 4,            // 4 sets x 4 ways
             tag_latency: 1,
             data_latency: 1,
+            policy: droplet_cache::ReplacementPolicy::Lru,
         };
         let sets = cfg.num_sets() as u64;
         let mut cache = SetAssocCache::new(cfg);
