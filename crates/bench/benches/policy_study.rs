@@ -1,12 +1,15 @@
 //! Wall-clock gate for the replacement-policy laboratory: times the full
 //! policy × workload × level study (25 workloads × 9 hierarchies) over a
-//! warm trace cache and exports the wall plus the per-policy LLC geomean
+//! warm trace cache — at one worker thread and at four — and exports the
+//! walls (one `t<N>` object each) plus the per-policy LLC geomean
 //! speedups to `BENCH_engine.json` (section `"policy_study"`).
 //!
-//! The wall gates higher-worse in `droplet-bench-diff`; the geomeans are
+//! The walls gate higher-worse in `droplet-bench-diff`; the geomeans are
 //! informational context for the EXPERIMENTS.md table (exact cycle
 //! determinism is enforced separately by the digest and conformance
-//! suites, so the gate only needs to catch the study getting slower).
+//! suites, so the gate only needs to catch the study getting slower). The
+//! two passes must agree on every geomean — thread count may shift walls,
+//! never results — which this bench asserts before writing the report.
 //!
 //! Run with: `cargo bench -p droplet-bench --bench policy_study`
 
@@ -47,24 +50,37 @@ fn main() {
         build.elapsed().as_millis()
     );
 
-    let t = Instant::now();
-    let study = run_policy_study(&ctx, &STUDY_POLICIES);
-    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!("{}", study.render());
-    println!("{} rows in {wall_ms:.0} ms", study.rows.len());
-
     let mut pairs = vec![
         ("scale".into(), bench_json::quote("tiny")),
         ("budget".into(), ctx.budget.to_string()),
         ("warmup".into(), ctx.warmup.to_string()),
-        ("threads".into(), ctx.pool.threads().to_string()),
-        ("wall_ms".into(), format!("{wall_ms:.0}")),
     ];
-    for &p in &STUDY_POLICIES {
+    let mut studies = Vec::new();
+    for threads in [1usize, 4] {
+        let ctx = ctx.clone().with_threads(threads);
+        let t = Instant::now();
+        let study = run_policy_study(&ctx, &STUDY_POLICIES);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "threads={threads}: {} rows in {wall_ms:.0} ms",
+            study.rows.len()
+        );
         pairs.push((
-            format!("geomean_llc_{p}"),
-            format!("{:.4}", study.geomean_speedup(p, PolicyLevel::Llc)),
+            format!("t{threads}"),
+            bench_json::object(&[("wall_ms".into(), format!("{wall_ms:.0}"))]),
         ));
+        studies.push(study);
+    }
+    println!("{}", studies[0].render());
+    for &p in &STUDY_POLICIES {
+        let geo = studies[0].geomean_speedup(p, PolicyLevel::Llc);
+        let geo4 = studies[1].geomean_speedup(p, PolicyLevel::Llc);
+        assert_eq!(
+            geo.to_bits(),
+            geo4.to_bits(),
+            "{p}: LLC geomean differs between 1 and 4 threads"
+        );
+        pairs.push((format!("geomean_llc_{p}"), format!("{geo:.4}")));
     }
     let section = bench_json::object(&pairs);
     let path = bench_json::default_report_path();

@@ -1,0 +1,104 @@
+//! Diagnostic for the batched hot lane (DESIGN.md §17): prints the
+//! page-run structure of the sim_replay trace (same-page pairs, memo hit
+//! rates, `BlockPlan` span shape — the numbers behind the "lane is inert
+//! on GAP traces" finding in EXPERIMENTS.md) and then best-of-N times
+//! batched vs scalar replay in-process, which is the only reliable A/B on
+//! a drifting container. Not part of the gated bench suite.
+//!
+//! Run with: `cargo run --release -p droplet-bench --example lane_timing`
+
+use droplet::gap::Algorithm;
+use droplet::graph::{Dataset, DatasetScale};
+use droplet::{run_workload, run_workload_scalar, SystemConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Algorithm::Pr.trace(&g, 120_000);
+    let cfg = SystemConfig::test_scale();
+
+    // Warm both code paths once.
+    let a = run_workload(&bundle, &cfg, 0);
+    let b = run_workload_scalar(&bundle, &cfg, 0);
+    assert_eq!(a.core.cycles, b.core.cycles);
+
+    println!("l1 {:?}", a.l1);
+    println!("l2 {:?}", a.l2);
+    println!("l3 {:?}", a.l3);
+    println!("dram {:?}", a.dram);
+    println!("sys {:?}", a.sys);
+
+    // Raw page-run structure, ignoring op kind.
+    let mut page_runs = 0u64;
+    let mut same_page_pairs = 0u64;
+    let mut last_page = u64::MAX;
+    let mut memo2 = [u64::MAX; 2];
+    let mut memo2_hits = 0u64;
+    let mut memo4 = [u64::MAX; 4];
+    let mut memo4_hits = 0u64;
+    for op in bundle.ops.iter() {
+        let p = op.addr().page_number();
+        if p == last_page {
+            same_page_pairs += 1;
+        } else {
+            page_runs += 1;
+            last_page = p;
+        }
+        if memo2.contains(&p) {
+            memo2_hits += 1;
+        } else {
+            memo2[1] = memo2[0];
+            memo2[0] = p;
+        }
+        if memo4.contains(&p) {
+            memo4_hits += 1;
+        } else {
+            memo4.rotate_right(1);
+            memo4[0] = p;
+        }
+    }
+    println!(
+        "page runs {} (same-page pairs {} = {:.1}%), 2-entry memo hits {:.1}%, 4-entry {:.1}%",
+        page_runs,
+        same_page_pairs,
+        same_page_pairs as f64 / bundle.ops.len() as f64 * 100.0,
+        memo2_hits as f64 / bundle.ops.len() as f64 * 100.0,
+        memo4_hits as f64 / bundle.ops.len() as f64 * 100.0
+    );
+
+    let mut plan = droplet::cpu::BlockPlan::new();
+    plan.compute(&bundle.ops);
+    let spans = plan.spans();
+    let total: u64 = spans.iter().map(|s| s.len as u64).sum();
+    let cont: u64 = spans.iter().filter(|s| s.cont_page).count() as u64;
+    let tail: u64 = total - spans.len() as u64;
+    println!(
+        "{} ops, {} spans (avg len {:.2}), {} cont_page starts, {} tail ops; probing {}/{} = {:.1}%",
+        total,
+        spans.len(),
+        total as f64 / spans.len() as f64,
+        cont,
+        tail,
+        cont + tail,
+        total,
+        (cont + tail) as f64 / total as f64 * 100.0
+    );
+
+    for lane in ["batched", "scalar"] {
+        let mut best = f64::MAX;
+        for _ in 0..60 {
+            let t = Instant::now();
+            let cycles = match lane {
+                "batched" => run_workload(&bundle, &cfg, 0).core.cycles,
+                _ => run_workload_scalar(&bundle, &cfg, 0).core.cycles,
+            };
+            let dt = t.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(cycles);
+            if dt < best {
+                best = dt;
+            }
+        }
+        println!("{lane:8} best {best:.3} ms");
+    }
+}

@@ -8,19 +8,27 @@
 //! baseline.us_per_iter`) and the two files are compared leaf by leaf.
 //!
 //! Gating: leaves whose last path segment names a cost (`us_per_iter`,
-//! `*_us`, `*_ms`, `*_cycles`) regress when they *rise*; throughput and
-//! gain leaves (`ops_per_sec`, `*_per_sec`, `*_speedup`) regress when they
-//! *fall*. Any gated leaf
-//! moving past `--threshold` percent (default 15) in the bad direction
+//! `*_us`, `*_ms`, `*_cycles`) regress when they *rise*; throughput,
+//! gain, and invariant leaves (`ops_per_sec`, `*_per_sec`, `*_speedup`,
+//! `*_match`) regress when they *fall* — a `*_match` flag dropping from 1
+//! to 0 is a −100% fall, so a broken equivalence always trips the gate.
+//! Any gated leaf moving past the threshold percent in the bad direction
 //! fails the run with exit code 1 — this is the CI bench gate. Other
 //! leaves are printed for context but never gate.
 //!
 //! ```text
-//! droplet-bench-diff OLD NEW [--threshold PCT] [--section NAME]
+//! droplet-bench-diff OLD NEW [--threshold PCT]
+//!                    [--threshold-up PCT] [--threshold-down PCT]
+//!                    [--section NAME]
 //! ```
 //!
-//! `--section` restricts both the display and the gate to one top-level
-//! section (e.g. `sim_replay`).
+//! `--threshold` (default 15) covers both directions;
+//! `--threshold-up` / `--threshold-down` override it for the
+//! higher-is-worse and lower-is-worse leaf families separately — e.g. a
+//! noisy wall-clock section can tolerate 35% rises while still failing
+//! hard (say, 5%) on any drop of a `*_match` invariant or a fork-win
+//! ratio. `--section` restricts both the display and the gate to one
+//! top-level section (e.g. `sim_replay`).
 
 use droplet_bench::bench_json::split_top_level;
 use std::process::ExitCode;
@@ -28,29 +36,34 @@ use std::process::ExitCode;
 struct Args {
     old: String,
     new: String,
-    threshold: f64,
+    /// Percent rise tolerated on higher-is-worse leaves.
+    threshold_up: f64,
+    /// Percent fall tolerated on lower-is-worse leaves.
+    threshold_down: f64,
     section: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut pos = Vec::new();
     let mut threshold = 15.0;
+    let mut threshold_up = None;
+    let mut threshold_down = None;
     let mut section = None;
     let mut it = std::env::args().skip(1);
+    let pct = |flag: &str, v: Option<String>| -> Result<f64, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse::<f64>().map_err(|_| format!("bad {flag} {v:?}"))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--threshold" => {
-                let v = it.next().ok_or("--threshold needs a value")?;
-                threshold = v
-                    .parse::<f64>()
-                    .map_err(|_| format!("bad --threshold {v:?}"))?;
-            }
+            "--threshold" => threshold = pct("--threshold", it.next())?,
+            "--threshold-up" => threshold_up = Some(pct("--threshold-up", it.next())?),
+            "--threshold-down" => threshold_down = Some(pct("--threshold-down", it.next())?),
             "--section" => section = Some(it.next().ok_or("--section needs a value")?),
             "--help" | "-h" => {
-                return Err(
-                    "usage: droplet-bench-diff OLD NEW [--threshold PCT] [--section NAME]"
-                        .to_string(),
-                )
+                return Err("usage: droplet-bench-diff OLD NEW [--threshold PCT] \
+                     [--threshold-up PCT] [--threshold-down PCT] [--section NAME]"
+                    .to_string())
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => pos.push(other.to_string()),
@@ -61,7 +74,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         old,
         new,
-        threshold,
+        threshold_up: threshold_up.unwrap_or(threshold),
+        threshold_down: threshold_down.unwrap_or(threshold),
         section,
     })
 }
@@ -121,7 +135,11 @@ fn gate_direction(path: &str) -> Option<bool> {
         || leaf.ends_with("_cycles")
     {
         Some(true)
-    } else if leaf == "ops_per_sec" || leaf.ends_with("_per_sec") || leaf.ends_with("_speedup") {
+    } else if leaf == "ops_per_sec"
+        || leaf.ends_with("_per_sec")
+        || leaf.ends_with("_speedup")
+        || leaf.ends_with("_match")
+    {
         Some(false)
     } else {
         None
@@ -184,8 +202,12 @@ fn run() -> Result<Vec<String>, String> {
                 let pct = (b - a) / a * 100.0;
                 let verdict = match gate_direction(&path) {
                     Some(higher_worse) => {
-                        let bad = if higher_worse { pct } else { -pct };
-                        if bad > args.threshold {
+                        let (bad, limit) = if higher_worse {
+                            (pct, args.threshold_up)
+                        } else {
+                            (-pct, args.threshold_down)
+                        };
+                        if bad > limit {
                             regressions.push(format!("{path}: {a:.3} -> {b:.3} ({pct:+.1}%)"));
                             "REGRESSED"
                         } else {

@@ -229,6 +229,18 @@ pub struct SetAssocCache {
     /// Number of resident lines carrying an accuracy tag; lets the demand
     /// path skip the tag probe entirely when no prefetches are in flight.
     tracked_count: usize,
+    /// Counting presence filter over a multiplicative hash of resident
+    /// line indices: a zero counter *proves* the line is absent, letting
+    /// miss-dominated probes — inclusion back-invalidations into private
+    /// caches that almost never hold the line, touches of caches with high
+    /// miss rates, coherence snoops — skip the set scan entirely. Nonzero
+    /// counters fall through to the exact tag scan, so the filter is pure
+    /// acceleration: hit/miss outcomes are bit-identical with or without
+    /// it. Sized at 2× the line count (min 64) so `u32` counters cannot
+    /// overflow and the all-miss fast path stays one load + compare.
+    presence: Vec<u32>,
+    /// `64 − log2(presence.len())`: the multiply-shift hash shift.
+    presence_shift: u32,
     /// Conformance-suite fault injection; [`CacheMutation::None`] in
     /// production, only ever set via [`SetAssocCache::set_test_mutation`].
     mutation: CacheMutation,
@@ -252,6 +264,7 @@ impl SetAssocCache {
             ReplacementPolicy::Ship => vec![SHCT_INIT; SHCT_ENTRIES],
             _ => Vec::new(),
         };
+        let presence_len = (num_sets * cfg.assoc * 2).next_power_of_two().max(64);
         SetAssocCache {
             set_mask: num_sets as u64 - 1,
             assoc: cfg.assoc,
@@ -262,6 +275,8 @@ impl SetAssocCache {
             tick: 0,
             memo: [0, 0],
             tracked_count: 0,
+            presence: vec![0; presence_len],
+            presence_shift: 64 - presence_len.trailing_zeros(),
             mutation: CacheMutation::None,
             psel: PSEL_INIT,
             brrip_ctr: 0,
@@ -292,13 +307,41 @@ impl SetAssocCache {
         base..base + self.assoc
     }
 
+    /// The presence-filter bucket of `line` (Fibonacci multiply-shift, so
+    /// dense line runs from different regions spread across the counters).
+    #[inline]
+    fn presence_bucket(&self, line: u64) -> usize {
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.presence_shift) as usize
+    }
+
+    /// `false` proves `line` is not resident (skip the scan); `true` means
+    /// "possibly resident" and the caller runs the exact tag scan.
+    #[inline]
+    fn maybe_resident(&self, line: u64) -> bool {
+        self.presence[self.presence_bucket(line)] != 0
+    }
+
+    /// Records `line` becoming resident.
+    #[inline]
+    fn presence_add(&mut self, line: u64) {
+        let b = self.presence_bucket(line);
+        self.presence[b] += 1;
+    }
+
+    /// Records `line` leaving the cache (eviction or invalidation).
+    #[inline]
+    fn presence_remove(&mut self, line: u64) {
+        let b = self.presence_bucket(line);
+        self.presence[b] -= 1;
+    }
+
     /// Checks residency without touching LRU state or statistics (the
     /// coherence-engine probe the MPP uses to avoid redundant DRAM
     /// prefetches, Section V-A).
     pub fn contains(&self, line: u64) -> bool {
         // Invalid ways hold `TAG_INVALID`, which no real line equals, so a
         // plain tag compare suffices.
-        find_u64(&self.tags[self.set_range(line)], line).is_some()
+        self.maybe_resident(line) && find_u64(&self.tags[self.set_range(line)], line).is_some()
     }
 
     /// A demand access to `line` at cycle `now`. Returns hit info, or
@@ -321,6 +364,9 @@ impl SetAssocCache {
             self.memo.swap(0, 1);
             self.memo[0]
         } else {
+            if !self.maybe_resident(line) {
+                return None;
+            }
             let range = self.set_range(line);
             let hit = find_u64(&self.tags[range.clone()], line)?;
             self.memo = [range.start + hit, self.memo[0]];
@@ -474,6 +520,10 @@ impl SetAssocCache {
             };
             (self.insertion_rrpv(line, &info), sig)
         };
+        if let Some(ev) = &evicted {
+            self.presence_remove(ev.line);
+        }
+        self.presence_add(line);
         self.tags[way] = line;
         self.stamps[way] = insert_val;
         self.meta[way] = LineMeta {
@@ -565,9 +615,13 @@ impl SetAssocCache {
 
     /// Removes `line` (inclusion back-invalidation), returning its state.
     pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        if !self.maybe_resident(line) {
+            return None;
+        }
         let range = self.set_range(line);
         let hit = find_u64(&self.tags[range.clone()], line)?;
         let way = range.start + hit;
+        self.presence_remove(line);
         self.tags[way] = TAG_INVALID;
         let victim = self.meta[way];
         self.stats.inclusion_invalidations += 1;
@@ -592,7 +646,7 @@ impl SetAssocCache {
     /// outstanding-prefetch accounting on every access (even L1 hits)
     /// without perturbing cache state.
     pub fn take_tracked(&mut self, line: u64) -> Option<DataType> {
-        if self.tracked_count == 0 {
+        if self.tracked_count == 0 || !self.maybe_resident(line) {
             return None;
         }
         let range = self.set_range(line);
@@ -608,6 +662,9 @@ impl SetAssocCache {
     /// path of a prefetch that hit in this cache). First-writer-wins like
     /// [`FillInfo::tracked`]; returns whether the line was resident.
     pub fn mark_tracked(&mut self, line: u64, dtype: DataType) -> bool {
+        if !self.maybe_resident(line) {
+            return false;
+        }
         let range = self.set_range(line);
         match find_u64(&self.tags[range.clone()], line) {
             Some(hit) => {

@@ -1,0 +1,99 @@
+//! Hot-lane-vs-slow-path lockstep harness: proves the batched replay fast
+//! lane ([`droplet::System`]'s `access_hot`) is *access-by-access*
+//! indistinguishable from the full demand path, not just digest-equal at
+//! the end of a fixed workload.
+//!
+//! The production side offers every access to the hot lane first and falls
+//! back to `access` only when the lane declines — exactly the batched
+//! replay loop's routing. The reference side routes everything through the
+//! slow path. Both sides are driven *directly*, below the core engine:
+//! the core's span gating (`cont_page` heads, plan degeneracy) would mask
+//! an ineligible-but-taken fast lane, so the harness bypasses it and
+//! proves the stronger property that the lane is exact for **any** access
+//! it accepts, however it is reached. The differ compares the returned
+//! [`AccessResponse`] plus a [`SystemProbe`] on every op, and the armed
+//! [`HotLaneMutation`] self-test shows a weakened eligibility check
+//! surfaces within a few ops and shrinks to a tiny repro.
+
+use crate::diff::Harness;
+use droplet::{HotLaneMutation, System, SystemConfig, SystemProbe};
+use droplet_cpu::{AccessResponse, MemorySystem};
+use droplet_gap::TraceBundle;
+use droplet_trace::{Cycle, MemOp, OpId};
+
+/// Deterministic inter-access spacing: a few cycles, so consecutive
+/// same-page accesses land while the line is still hot but DRAM bank and
+/// bus state keep evolving between misses.
+const STRIDE: Cycle = 4;
+
+/// Differential harness pairing a hot-lane-first machine (production) with
+/// a slow-path-only machine (reference) over one shared deterministic
+/// clock.
+pub struct HotLaneHarness<'a> {
+    bundle: &'a TraceBundle,
+    cfg: SystemConfig,
+    mutation: HotLaneMutation,
+    prod: Option<System<'a>>,
+    refr: Option<System<'a>>,
+    now: Cycle,
+    step: u64,
+}
+
+impl<'a> HotLaneHarness<'a> {
+    /// Builds the harness over `bundle`'s address space and arms `mutation`
+    /// on the production side's hot lane. Use [`HotLaneMutation::None`] for
+    /// the conformance run proper.
+    pub fn new(bundle: &'a TraceBundle, cfg: SystemConfig, mutation: HotLaneMutation) -> Self {
+        HotLaneHarness {
+            bundle,
+            cfg,
+            mutation,
+            prod: None,
+            refr: None,
+            now: 0,
+            step: 0,
+        }
+    }
+}
+
+impl Harness for HotLaneHarness<'_> {
+    type Op = MemOp;
+    /// The access response itself (completion time and service level) plus
+    /// the memory-side probe — any hot-lane shortcut that mistranslates,
+    /// mistimes, or miscounts an access shows up on the op that took it.
+    type Obs = (AccessResponse, SystemProbe);
+
+    fn reset(&mut self) {
+        let mut prod = System::new(self.cfg.clone(), self.bundle);
+        prod.set_hot_lane_mutation(self.mutation);
+        self.prod = Some(prod);
+        self.refr = Some(System::new(self.cfg.clone(), self.bundle));
+        self.now = 0;
+        self.step = 0;
+    }
+
+    fn apply(&mut self, op: &MemOp) -> (Self::Obs, Self::Obs) {
+        let now = self.now;
+        let id = OpId(self.step);
+        self.now += STRIDE;
+        self.step += 1;
+
+        let prod = self.prod.as_mut().expect("reset before apply");
+        let got = prod
+            .access_hot(op, id, now)
+            .unwrap_or_else(|| prod.access(op, id, now));
+
+        let refr = self.refr.as_mut().expect("reset before apply");
+        let want = refr.access(op, id, now);
+
+        ((got, prod.probe()), (want, refr.probe()))
+    }
+
+    fn dump(&self) -> (String, String) {
+        let render = |side: &Option<System<'_>>| match side {
+            Some(sys) => format!("probe: {:?}\nstats: {:?}", sys.probe(), sys.stats()),
+            None => "<unreset>".into(),
+        };
+        (render(&self.prod), render(&self.refr))
+    }
+}

@@ -30,8 +30,10 @@ pub mod diff;
 pub mod fork;
 pub mod fuzz;
 pub mod harness;
+pub mod hotlane;
 pub mod reference;
 
 pub use diff::{fuzz_and_verify, run_lockstep, shrink, Divergence, FuzzReport, Harness};
 pub use fork::ForkHarness;
 pub use fuzz::TraceGen;
+pub use hotlane::HotLaneHarness;

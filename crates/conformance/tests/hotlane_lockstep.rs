@@ -1,0 +1,122 @@
+//! Hot-lane conformance: every access the batched fast lane accepts must
+//! be bit-identical — response, timing, statistics — to the full demand
+//! path, and the differ must be able to prove the converse by catching an
+//! armed [`HotLaneMutation`] and shrinking it to a tiny repro.
+//!
+//! Trace-order PR streams alternate pages on almost every op (offsets →
+//! neighbors → ranks), which starves the lane of same-page repeats; the
+//! fuzzed streams here are page-biased resamples of the trace — bursts on
+//! one page with occasional jumps — so the lane fires constantly *and*
+//! page changes keep probing its eligibility checks.
+
+use conformance::{run_lockstep, shrink, HotLaneHarness};
+use droplet::{HotLaneMutation, PrefetcherKind, System, SystemConfig};
+use droplet_cpu::MemorySystem;
+use droplet_gap::{Algorithm, TraceBundle};
+use droplet_graph::{Dataset, DatasetScale};
+use droplet_trace::{MemOp, OpId};
+use proptest::TestRng;
+use std::sync::Arc;
+
+fn bundle() -> TraceBundle {
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    Algorithm::Pr.trace(&g, 40_000)
+}
+
+/// The trace's ops regrouped by virtual page, so streams can dwell on one
+/// page long enough to prime the translation memo and the L1.
+fn ops_by_page(bundle: &TraceBundle) -> Vec<Vec<MemOp>> {
+    let mut groups: std::collections::HashMap<u64, Vec<MemOp>> = std::collections::HashMap::new();
+    for op in &bundle.ops {
+        groups.entry(op.addr().page_number()).or_default().push(*op);
+    }
+    let mut v: Vec<_> = groups.into_iter().collect();
+    v.sort_by_key(|(page, _)| *page); // deterministic group order
+    v.into_iter().map(|(_, ops)| ops).collect()
+}
+
+/// Page-biased resample: stay on the current page's ops three times out of
+/// four, jump to a random page otherwise.
+fn gen_ops(rng: &mut TestRng, groups: &[Vec<MemOp>], n: usize) -> Vec<MemOp> {
+    let mut ops = Vec::with_capacity(n);
+    let mut g = rng.below(groups.len() as u64) as usize;
+    for _ in 0..n {
+        if rng.below(4) == 0 {
+            g = rng.below(groups.len() as u64) as usize;
+        }
+        let group = &groups[g];
+        ops.push(group[rng.below(group.len() as u64) as usize]);
+    }
+    ops
+}
+
+/// Sanity that the conformance runs below are not vacuous: a primed
+/// same-page repeat is accepted by the lane, a cold memo declines.
+#[test]
+fn hot_lane_fires_on_a_primed_same_page_run() {
+    let b = bundle();
+    let mut sys = System::new(SystemConfig::test_scale(), &b);
+    let op = b.ops[0];
+    assert!(
+        sys.access_hot(&op, OpId(0), 0).is_none(),
+        "cold memo must decline"
+    );
+    sys.access(&op, OpId(0), 0);
+    assert!(
+        sys.access_hot(&op, OpId(1), 4).is_some(),
+        "primed same-page repeat must be accepted"
+    );
+}
+
+/// The conformance run proper: hot-lane-first routing is lockstep
+/// identical to slow-path-only routing, under the demand-only baseline and
+/// under a live prefetcher (whose sideband events ride the miss tail).
+#[test]
+fn hot_lane_is_lockstep_identical_to_slow_path() {
+    let b = bundle();
+    let groups = ops_by_page(&b);
+    for cfg in [
+        SystemConfig::test_scale(),
+        SystemConfig::test_scale().with_prefetcher(PrefetcherKind::Ghb),
+    ] {
+        let mut h = HotLaneHarness::new(&b, cfg, HotLaneMutation::None);
+        for seed in 0..16u64 {
+            let mut rng = TestRng::from_seed(seed);
+            let ops = gen_ops(&mut rng, &groups, 2_000);
+            if let Some(d) = run_lockstep(&mut h, &ops) {
+                panic!(
+                    "hot lane diverged from the slow path at step {} (seed {seed}):\n\
+                     op {}\n  production: {}\n  reference:  {}\n\
+                     production state:\n{}\nreference state:\n{}",
+                    d.step, d.op, d.got, d.want, d.prod_state, d.ref_state
+                );
+            }
+        }
+    }
+}
+
+/// The differ's self-test: a hot lane that trusts a stale translation memo
+/// must surface within a few fuzzed streams and shrink to a tiny repro —
+/// the proof the lockstep above would catch a broken eligibility check.
+#[test]
+fn stale_memo_is_caught_and_shrunk() {
+    let b = bundle();
+    let groups = ops_by_page(&b);
+    let mut h = HotLaneHarness::new(&b, SystemConfig::test_scale(), HotLaneMutation::StaleMemo);
+    for seed in 0..64u64 {
+        let mut rng = TestRng::from_seed(seed);
+        let ops = gen_ops(&mut rng, &groups, 700);
+        if let Some(d) = run_lockstep(&mut h, &ops) {
+            let repro = shrink(&mut h, &ops[..=d.step]);
+            let confirm = run_lockstep(&mut h, &repro);
+            assert!(confirm.is_some(), "shrunk stream no longer diverges");
+            assert!(
+                repro.len() <= 20,
+                "repro not minimal: {} ops\n{repro:#?}",
+                repro.len()
+            );
+            return;
+        }
+    }
+    panic!("StaleMemo never caught in 64 fuzzed streams");
+}

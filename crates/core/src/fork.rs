@@ -18,7 +18,7 @@ use droplet_cpu::CoreEngine;
 use droplet_gap::TraceBundle;
 use droplet_trace::{SliceSource, TraceSource};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A warmed machine at the warm-up boundary: the memory system snapshot
 /// plus the core engine that produced it, ready to fan measurement runs
@@ -154,16 +154,55 @@ pub struct SweepCell {
     pub cfg: SystemConfig,
 }
 
+/// A write-once snapshot slot a group's cell jobs block on. A plain
+/// Mutex + Condvar pair rather than `OnceLock::wait`, so the error path
+/// (a panicking warm-up job) can poison the slot explicitly and wake the
+/// waiters into a clean panic instead of a deadlock.
+#[derive(Default)]
+struct SnapSlot {
+    /// `None` until the warm-up job lands; `Err` if it panicked.
+    ready: Mutex<Option<Result<Arc<WarmupSnapshot>, ()>>>,
+    cv: Condvar,
+}
+
+impl SnapSlot {
+    fn fill(&self, snap: Result<Arc<WarmupSnapshot>, ()>) {
+        *self.ready.lock().expect("snapshot slot poisoned") = Some(snap);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Arc<WarmupSnapshot> {
+        let mut guard = self.ready.lock().expect("snapshot slot poisoned");
+        loop {
+            match guard.as_ref() {
+                Some(Ok(snap)) => return Arc::clone(snap),
+                Some(Err(())) => panic!("warm-up job for this sweep group panicked"),
+                None => guard = self.cv.wait(guard).expect("snapshot slot poisoned"),
+            }
+        }
+    }
+}
+
 /// Runs every cell, sharing warm-up across cells that agree on the trace
 /// and the warmup-relevant configuration.
 ///
 /// Cells are grouped by `(Arc::as_ptr(bundle), cfg.warmup_key())`. Groups
-/// of two or more get one [`warm_snapshot`] job (phase A) and then a
-/// [`run_forked`] job per cell (phase B); singleton cells — including every
-/// cell of a sweep whose points differ in warmup-relevant fields, which
-/// thereby falls back to full replay automatically — run `run_workload`
-/// unchanged. With `fork` false everything replays in full (the `--no-fork`
-/// escape hatch, and the before-side of the `study_wall_ms` bench).
+/// of two or more get one [`warm_snapshot`] job and then a [`run_forked`]
+/// job per cell; singleton cells — including every cell of a sweep whose
+/// points differ in warmup-relevant fields, which thereby falls back to
+/// full replay automatically — run `run_workload` unchanged. With `fork`
+/// false everything replays in full (the `--no-fork` escape hatch, and the
+/// before-side of the `study_wall_ms` bench).
+///
+/// The fan-out is pipelined, not phased: all jobs go into one
+/// [`JobPool::run`] batch with the warm-up jobs queued first, and each
+/// cell job blocks only on *its own group's* [`SnapSlot`] — so group A's
+/// cells start measuring while group B's warm-up is still simulating,
+/// instead of every cell waiting behind a global warm-up barrier. This is
+/// what makes `run_sweep` scale near-linearly with `DROPLET_THREADS`.
+/// Deadlock-free because workers claim job indices in submission order:
+/// any cell job a worker runs has every warm-up job already claimed, and
+/// warm-up jobs never wait.
 ///
 /// Results come back in cell order; forked and replayed runs are
 /// bit-identical, so the output is independent of grouping, threading, and
@@ -196,17 +235,8 @@ pub fn run_sweep(
         groups[g].push(i);
     }
 
-    // Phase A: one warm-up simulation per shared group.
     let shared: Vec<&Vec<usize>> = groups.iter().filter(|g| g.len() >= 2).collect();
-    let snapshots: Vec<WarmupSnapshot> = pool.run(
-        shared
-            .iter()
-            .map(|members| {
-                let first = &cells[members[0]];
-                move || warm_snapshot(&first.bundle, &first.cfg, warmup_ops)
-            })
-            .collect(),
-    );
+    let slots: Vec<SnapSlot> = (0..shared.len()).map(|_| SnapSlot::default()).collect();
     let mut snapshot_of_cell: Vec<Option<usize>> = vec![None; cells.len()];
     for (s, members) in shared.iter().enumerate() {
         for &i in members.iter() {
@@ -214,20 +244,45 @@ pub fn run_sweep(
         }
     }
 
-    // Phase B: fan the measurement regions out; singletons replay in full.
-    pool.run(
-        cells
-            .iter()
-            .enumerate()
-            .map(|(i, cell)| {
-                let snap = snapshot_of_cell[i].map(|s| &snapshots[s]);
-                move || match snap {
-                    Some(snap) => run_forked(&cell.bundle, snap, &cell.cfg),
-                    None => crate::run_workload(&cell.bundle, &cell.cfg, warmup_ops),
+    // One batch: warm-up jobs first (returning None), then cell jobs
+    // (returning Some), each waiting only on its own group's slot.
+    type Job<'j> = Box<dyn FnOnce() -> Option<RunResult> + Send + 'j>;
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(shared.len() + cells.len());
+    for (s, members) in shared.iter().enumerate() {
+        let first = &cells[members[0]];
+        let slot = &slots[s];
+        jobs.push(Box::new(move || {
+            let snap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                warm_snapshot(&first.bundle, &first.cfg, warmup_ops)
+            }));
+            match snap {
+                Ok(snap) => {
+                    slot.fill(Ok(Arc::new(snap)));
+                    None
                 }
+                Err(payload) => {
+                    // Wake the group's waiters into a panic of their own,
+                    // then re-raise so the pool reports the original.
+                    slot.fill(Err(()));
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }));
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let slot = snapshot_of_cell[i].map(|s| &slots[s]);
+        jobs.push(Box::new(move || {
+            Some(match slot {
+                Some(slot) => run_forked(&cell.bundle, &slot.wait(), &cell.cfg),
+                None => crate::run_workload(&cell.bundle, &cell.cfg, warmup_ops),
             })
-            .collect(),
-    )
+        }));
+    }
+    let mut out = pool.run(jobs);
+    out.drain(..shared.len());
+    out.into_iter()
+        .map(|r| r.expect("cell job returned a result"))
+        .collect()
 }
 
 #[cfg(test)]

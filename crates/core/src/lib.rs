@@ -48,8 +48,8 @@ pub use fork::{
 };
 pub use pool::JobPool;
 pub use system::{
-    run_workload, run_workload_from, ForkMutation, RunResult, System, SystemProbe, SystemSnapshot,
-    SystemStats,
+    run_workload, run_workload_from, run_workload_scalar, ForkMutation, HotLaneMutation, RunResult,
+    System, SystemProbe, SystemSnapshot, SystemStats,
 };
 pub use trace_cache::TraceCache;
 

@@ -580,6 +580,53 @@ fn forked_policy_runs_digest_identically_to_full_replay() {
     }
 }
 
+/// The strongest cross-product equality in the suite: for every prefetcher
+/// kind × LLC policy, the production stack — batched hot-lane replay,
+/// forked from a shared warm snapshot, scheduled through the pipelined
+/// sweep on one *and* four workers — must digest bit-identically to the
+/// plainest possible reference: a from-scratch, scalar-lane, single-run
+/// replay. One assertion per cell covers the hot lane, the fork restore,
+/// and the sweep scheduling at once; any of the three diverging breaks it.
+#[test]
+fn batched_forked_sweeps_match_the_scalar_reference() {
+    use droplet::{run_sweep, run_workload_scalar, SweepCell};
+
+    let g = Arc::new(Dataset::Kron.build(DatasetScale::Tiny));
+    let bundle = Arc::new(Algorithm::Pr.trace(&g, 40_000));
+    let warmup = 4_000;
+
+    let mut all = vec![droplet::cache::ReplacementPolicy::Lru];
+    all.extend(POLICIES);
+    let cells: Vec<SweepCell> = all
+        .iter()
+        .flat_map(|&p| KINDS.iter().map(move |&k| (p, k)))
+        .map(|(p, k)| SweepCell {
+            bundle: Arc::clone(&bundle),
+            cfg: SystemConfig::test_scale()
+                .with_l3_policy(p)
+                .with_prefetcher(k),
+        })
+        .collect();
+    assert_eq!(cells.len(), 40, "5 policies x 8 kinds");
+
+    let serial = run_sweep(&JobPool::with_threads(1), &cells, warmup, true);
+    let parallel = run_sweep(&JobPool::with_threads(4), &cells, warmup, true);
+    for ((cell, s), p) in cells.iter().zip(&serial).zip(&parallel) {
+        let reference = run_workload_scalar(&cell.bundle, &cell.cfg, warmup);
+        let label = format!("{}/{}", cell.cfg.l3.policy, cell.cfg.prefetcher.name());
+        assert_eq!(
+            digest(s),
+            digest(&reference),
+            "{label}: serial batched+forked sweep diverged from the scalar reference"
+        );
+        assert_eq!(
+            digest(p),
+            digest(&reference),
+            "{label}: 4-thread batched+forked sweep diverged from the scalar reference"
+        );
+    }
+}
+
 /// A mixed-policy sweep must be fork-safe: configurations with different
 /// LLC policies have different warm-up keys, so `run_sweep` may only share
 /// snapshots within a policy group — and forked results still match the

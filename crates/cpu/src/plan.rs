@@ -1,0 +1,238 @@
+//! Per-block replay plans: the op-kind RLE spans and same-page runs of one
+//! fetched trace block, precomputed in a single pass.
+//!
+//! Graph traces are dominated by short runs of accesses that share a kind
+//! (load/store) and a virtual page — offset scans over the structure array,
+//! property reads off one frame. [`BlockPlan::compute`] run-length encodes a
+//! block along both axes at once, so the batched replay loop
+//! ([`crate::CoreEngine::measure_chunk`]) can hoist the per-op kind branch
+//! out of span-sized inner loops and route span interiors down the memory
+//! system's hot lane ([`crate::MemorySystem::access_hot`]) — see DESIGN.md
+//! §17 for the lane contract.
+
+use droplet_trace::MemOp;
+
+/// One homogeneous stretch of ops: a single access kind on a single
+/// virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpan {
+    /// Ops in this span (always ≥ 1).
+    pub len: u32,
+    /// Every op in the span is a load (else every op is a store).
+    pub is_load: bool,
+    /// The span's page equals the page of the op immediately preceding the
+    /// span, so the memory system's same-page memo is already primed when
+    /// the span's first op executes. The first span of the first block has
+    /// no predecessor and reports `false`.
+    pub cont_page: bool,
+}
+
+/// A reusable span plan over one fetched block of ops.
+///
+/// The plan carries the trailing page across [`compute`](Self::compute)
+/// calls, so feeding a trace block-by-block yields the same spans as one
+/// plan over the concatenation — block boundaries are invisible.
+#[derive(Debug, Clone, Default)]
+pub struct BlockPlan {
+    spans: Vec<OpSpan>,
+    /// Page of the last planned op, seeding `cont_page` of the next block.
+    last_page: Option<u64>,
+    /// The probe prefix found no page runs at all, so the rest of the
+    /// block was not planned (see [`BlockPlan::PROBE_OPS`]).
+    degenerate: bool,
+}
+
+impl BlockPlan {
+    /// Ops examined before deciding a block is worth planning: if the
+    /// first `PROBE_OPS` ops contain not a single same-page run, the rest
+    /// of the block is abandoned as [`degenerate`](Self::is_degenerate)
+    /// and the replay loop falls back to the scalar lane. Interleaved
+    /// multi-array traces (offsets → neighbors → ranks every op) would
+    /// otherwise pay a full span materialization — one `OpSpan` per op —
+    /// for a plan that cannot offer a single hot probe.
+    pub const PROBE_OPS: usize = 2048;
+
+    /// Creates an empty plan with no carried page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes the plan for `ops` in one pass, splitting spans on every
+    /// access-kind or page change. Bails out early (marking the plan
+    /// degenerate) if the probe prefix shows no page locality.
+    pub fn compute(&mut self, ops: &[MemOp]) {
+        self.spans.clear();
+        self.degenerate = false;
+        let mut prev_page = self.last_page;
+        let Some(first) = ops.first() else {
+            return;
+        };
+        let mut cur = OpSpan {
+            len: 1,
+            is_load: first.is_load(),
+            cont_page: prev_page == Some(first.addr().page_number()),
+        };
+        let mut cur_page = first.addr().page_number();
+        // Hot-lane candidates seen so far; zero at the probe boundary
+        // means every span so far is a length-1 page break.
+        let mut hot = cur.cont_page as u64;
+        for (i, op) in ops.iter().enumerate().skip(1) {
+            if hot == 0 && i == Self::PROBE_OPS {
+                self.degenerate = true;
+                self.spans.clear();
+                // Keep cross-block continuity: the next block's first op
+                // is still compared against its true predecessor.
+                self.last_page = Some(ops[ops.len() - 1].addr().page_number());
+                return;
+            }
+            let page = op.addr().page_number();
+            let is_load = op.is_load();
+            if is_load == cur.is_load && page == cur_page {
+                cur.len += 1;
+                hot += 1;
+            } else {
+                self.spans.push(cur);
+                prev_page = Some(cur_page);
+                cur = OpSpan {
+                    len: 1,
+                    is_load,
+                    cont_page: prev_page == Some(page),
+                };
+                hot += cur.cont_page as u64;
+                cur_page = page;
+            }
+        }
+        self.spans.push(cur);
+        self.last_page = Some(cur_page);
+    }
+
+    /// Whether the probe prefix abandoned this block (no spans computed);
+    /// the replay loop then runs its scalar lane over the whole block.
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+
+    /// The computed spans, in op order. Span lengths sum to the planned
+    /// block's length.
+    pub fn spans(&self) -> &[OpSpan] {
+        &self.spans
+    }
+
+    /// How many of the planned ops are hot-lane candidates: span interiors
+    /// (primed by the span's own first op) plus `cont_page` span heads.
+    /// Zero means the block has no page runs at all — the batched loop
+    /// then runs the plain scalar loop and skips the span bookkeeping.
+    pub fn hot_candidates(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| s.len as u64 - 1 + s.cont_page as u64)
+            .sum()
+    }
+
+    /// Forgets the carried page (e.g. when switching traces).
+    pub fn reset(&mut self) {
+        self.spans.clear();
+        self.last_page = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplet_trace::{AccessKind, DataType, OpId, VirtAddr, PAGE_BYTES};
+
+    fn op(page: u64, offset: u64, kind: AccessKind) -> MemOp {
+        MemOp::new(
+            VirtAddr::new(page * PAGE_BYTES + offset * 64),
+            kind,
+            DataType::Property,
+            None,
+            OpId(0),
+            0,
+        )
+    }
+
+    #[test]
+    fn spans_split_on_kind_and_page() {
+        let ops = vec![
+            op(1, 0, AccessKind::Load),
+            op(1, 1, AccessKind::Load),
+            op(1, 2, AccessKind::Store), // kind change, same page
+            op(2, 0, AccessKind::Store), // page change, same kind
+            op(2, 1, AccessKind::Store),
+        ];
+        let mut plan = BlockPlan::new();
+        plan.compute(&ops);
+        let spans = plan.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans[0],
+            OpSpan {
+                len: 2,
+                is_load: true,
+                cont_page: false
+            }
+        );
+        assert_eq!(
+            spans[1],
+            OpSpan {
+                len: 1,
+                is_load: false,
+                cont_page: true
+            }
+        );
+        assert_eq!(
+            spans[2],
+            OpSpan {
+                len: 2,
+                is_load: false,
+                cont_page: false
+            }
+        );
+        assert_eq!(
+            spans.iter().map(|s| s.len as usize).sum::<usize>(),
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn block_boundaries_are_invisible() {
+        // Plan a stream in one pass, then in two blocks: the carried page
+        // must make the second block's first span report cont_page just as
+        // the whole-stream plan does.
+        let ops: Vec<MemOp> = (0..10).map(|i| op(7, i, AccessKind::Load)).collect();
+        let mut whole = BlockPlan::new();
+        whole.compute(&ops);
+        assert_eq!(whole.spans().len(), 1);
+
+        let mut split = BlockPlan::new();
+        split.compute(&ops[..4]);
+        assert!(!split.spans()[0].cont_page);
+        split.compute(&ops[4..]);
+        assert_eq!(split.spans().len(), 1);
+        assert!(split.spans()[0].cont_page, "carried page primes cont_page");
+    }
+
+    #[test]
+    fn reset_forgets_the_carried_page() {
+        let ops = vec![op(3, 0, AccessKind::Load)];
+        let mut plan = BlockPlan::new();
+        plan.compute(&ops);
+        plan.reset();
+        plan.compute(&ops);
+        assert!(!plan.spans()[0].cont_page);
+    }
+
+    #[test]
+    fn empty_block_keeps_state() {
+        let mut plan = BlockPlan::new();
+        plan.compute(&[op(5, 0, AccessKind::Load)]);
+        plan.compute(&[]);
+        assert!(plan.spans().is_empty());
+        plan.compute(&[op(5, 1, AccessKind::Load)]);
+        assert!(
+            plan.spans()[0].cont_page,
+            "empty blocks keep the carried page"
+        );
+    }
+}

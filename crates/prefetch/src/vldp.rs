@@ -54,33 +54,58 @@ impl VldpConfig {
     }
 }
 
-/// A short delta sequence stored inline (≤ [`MAX_LEVELS`] entries). Unused
-/// tail slots are always zero, so whole-array equality and lexicographic
-/// comparison between histories of equal length match `Vec<i64>` semantics.
-/// Deltas are line-offset differences within a page, so `i8` holds them
-/// exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A short delta sequence (≤ [`MAX_LEVELS`] entries) kept directly in its
+/// [`pack_suffix`] form: one `u64` of biased 16-bit lanes, oldest delta in
+/// the top lane, pad lanes below. Appending a delta is O(1) lane math on
+/// the key instead of an array rotate plus a repack, so the replay hot path
+/// never materializes an `[i8]` history at all. `key` is always exactly
+/// `pack_suffix` of the deltas it holds — [`key`](Self::key) hands the DPTs
+/// their probe key for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct History {
-    d: [i8; MAX_LEVELS],
+    key: u64,
     len: u8,
+}
+
+/// The packed empty history: every lane holds the bias of zero.
+const EMPTY_KEY: u64 = 0x8000_8000_8000_8000;
+
+impl Default for History {
+    fn default() -> Self {
+        History {
+            key: EMPTY_KEY,
+            len: 0,
+        }
+    }
 }
 
 impl History {
     /// Appends `delta`, dropping the oldest entry once `cap` is reached —
-    /// the `push` + `remove(0)` idiom of a bounded Vec, without the Vec.
+    /// the `push` + `remove(0)` idiom of a bounded Vec, as lane math: the
+    /// raw `u16` image of a delta is its biased lane XOR the pad, so one
+    /// XOR turns a pad lane into the delta's lane (and a left shift by one
+    /// lane is exactly `pack` of the history minus its oldest entry).
     fn push_capped(&mut self, delta: i8, cap: usize) {
+        let raw = u64::from(delta as i16 as u16);
         let len = self.len as usize;
         if len == cap {
-            self.d.copy_within(1..len, 0);
-            self.d[len - 1] = delta;
+            self.key = if cap == MAX_LEVELS {
+                (self.key << 16) ^ raw ^ 0x8000
+            } else {
+                // The shift pulls the old pad into lane `cap - 1` (turned
+                // into the new delta) and a zero into the bottom (re-padded).
+                ((self.key << 16) | 0x8000) ^ (raw << (16 * (MAX_LEVELS - cap)))
+            };
         } else {
-            self.d[len] = delta;
+            self.key ^= raw << (16 * (MAX_LEVELS - 1 - len));
             self.len += 1;
         }
     }
 
-    fn suffix(&self, len: usize) -> &[i8] {
-        &self.d[self.len as usize - len..self.len as usize]
+    /// `pack_suffix` of the whole history, precomputed.
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
     }
 }
 
@@ -93,6 +118,7 @@ impl History {
 /// lexicographically as integer sequences — so packed keys preserve both
 /// the lookup and the LRU tie-break semantics of the wide-integer history
 /// representation exactly.
+#[allow(dead_code)] // the executable spec [`History`] is tested against
 #[inline]
 fn pack_suffix(suffix: &[i8]) -> u64 {
     debug_assert!(suffix.len() <= MAX_LEVELS);
@@ -361,6 +387,12 @@ struct Drb {
     /// several lines in a row, so this answers most probes without the
     /// column sweep. Verified against `pages` before use.
     last_hit: usize,
+    /// Last row seen for each page-hash bucket, +1 (0 = no hint; rows ≥ 255
+    /// are never hinted). Covers the interleaved case `last_hit` cannot —
+    /// alternating pages land in distinct buckets, so each probe still
+    /// finds its row without the column sweep. Stale or colliding hints
+    /// fail the key compare below and fall back to the sweep.
+    hint: [u8; 256],
 }
 
 impl Drb {
@@ -370,7 +402,20 @@ impl Drb {
         if self.pages.get(self.last_hit) == Some(&page) {
             return Some(self.last_hit);
         }
+        let h = self.hint[bucket_of(page)] as usize;
+        if h > 0 && self.pages.get(h - 1) == Some(&page) {
+            return Some(h - 1);
+        }
         find_u64(&self.pages, page)
+    }
+
+    /// Records `row` as the freshest home of `page` for both fast probes.
+    #[inline]
+    fn remember(&mut self, page: u64, row: usize) {
+        self.last_hit = row;
+        if row < 255 {
+            self.hint[bucket_of(page)] = row as u8 + 1;
+        }
     }
 
     /// Detaches `row` from the recency list.
@@ -484,6 +529,7 @@ impl VldpPrefetcher {
                 head: NO_ROW,
                 tail: NO_ROW,
                 last_hit: usize::MAX,
+                hint: [0; 256],
             },
             opt: vec![None; cfg.opt_entries],
             dpt: (0..cfg.levels)
@@ -499,14 +545,28 @@ impl VldpPrefetcher {
         (PAGE_BYTES / LINE_BYTES) as i64
     }
 
-    /// Longest-history-first DPT lookup.
+    /// OPT slot of a first line-offset — a mask at the usual power-of-two
+    /// table size, so the hot path carries no integer division.
+    #[inline]
+    fn opt_index(&self, offset: usize) -> usize {
+        let n = self.cfg.opt_entries;
+        if n.is_power_of_two() {
+            offset & (n - 1)
+        } else {
+            offset % n
+        }
+    }
+
+    /// Longest-history-first DPT lookup. `history.len` never exceeds
+    /// `cfg.levels` (pushes are capped there), so the history's own packed
+    /// key is the longest probe key.
     fn predict(&mut self, history: &History) -> Option<i8> {
         let clock = self.clock;
         let longest = (history.len as usize).min(self.cfg.levels);
         if longest == 0 {
             return None;
         }
-        let mut key = pack_suffix(history.suffix(longest));
+        let mut key = history.key();
         for len in (1..=longest).rev() {
             if let Some(d) = self.dpt[len - 1].predict(key, clock) {
                 return Some(d);
@@ -553,7 +613,7 @@ impl Prefetcher for VldpPrefetcher {
         match self.drb.row_of(page) {
             None => {
                 // First access to the page: consult the OPT.
-                let opt_idx = (offset as usize) % self.cfg.opt_entries;
+                let opt_idx = self.opt_index(offset as usize);
                 if let Some(d) = self.opt[opt_idx] {
                     self.emit(page, offset + d as i64, ev, out);
                 }
@@ -565,7 +625,7 @@ impl Prefetcher for VldpPrefetcher {
                 };
                 if self.drb.pages.len() < self.cfg.drb_pages {
                     let row = self.drb.pages.len();
-                    self.drb.last_hit = row;
+                    self.drb.remember(page, row);
                     self.drb.pages.push(page);
                     self.drb.data.push(data);
                     self.drb.link_prev.push(NO_ROW);
@@ -577,11 +637,11 @@ impl Prefetcher for VldpPrefetcher {
                     self.drb.pages[victim] = page;
                     self.drb.data[victim] = data;
                     self.drb.link_at_tail(victim);
-                    self.drb.last_hit = victim;
+                    self.drb.remember(page, victim);
                 }
             }
             Some(i) => {
-                self.drb.last_hit = i;
+                self.drb.remember(page, i);
                 self.drb.touch(i);
                 let (first_offset, second_access, delta, mut history) = {
                     let e = &mut self.drb.data[i];
@@ -598,14 +658,14 @@ impl Prefetcher for VldpPrefetcher {
 
                 // Second access trains the OPT for this first-offset class.
                 if second_access {
-                    let opt_idx = (first_offset as usize) % self.cfg.opt_entries;
+                    let opt_idx = self.opt_index(first_offset as usize);
                     self.opt[opt_idx] = Some(delta);
                 }
 
                 // Train every DPT with the observed history → delta pair.
                 let longest = (history.len as usize).min(self.cfg.levels);
                 if longest > 0 {
-                    let mut key = pack_suffix(history.suffix(longest));
+                    let mut key = history.key();
                     for len in (1..=longest).rev() {
                         self.dpt[len - 1].update(key, delta, clock);
                         key = shorten(key);
@@ -788,6 +848,33 @@ mod tests {
             for shorter in (1..len).rev() {
                 let derived = (0..len - shorter).fold(key, |k, _| shorten(k));
                 assert_eq!(derived, pack_suffix(&h[MAX_LEVELS - shorter..]));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_history_key_matches_repacking_from_scratch() {
+        // The lane math of `History::push_capped` must agree with the
+        // reference bounded-Vec semantics (push, drop-oldest at cap) fed
+        // through `pack_suffix`, for every cap and for delta sequences
+        // crossing the sign and magnitude extremes.
+        let deltas: [i8; 9] = [1, -1, 63, -63, 7, 0, -128, 127, 5];
+        for cap in 1..=MAX_LEVELS {
+            let mut h = History::default();
+            let mut reference: Vec<i8> = Vec::new();
+            assert_eq!(h.key(), pack_suffix(&reference));
+            for &d in &deltas {
+                h.push_capped(d, cap);
+                reference.push(d);
+                if reference.len() > cap {
+                    reference.remove(0);
+                }
+                assert_eq!(
+                    h.key(),
+                    pack_suffix(&reference),
+                    "cap {cap} after {reference:?}"
+                );
+                assert_eq!(h.len as usize, reference.len());
             }
         }
     }

@@ -396,119 +396,175 @@ impl<'a> ColumnarReader<'a> {
         (self.op_count - start).min(BLOCK_OPS as u64) as usize
     }
 
+    /// The block directory: block index → file offset. Cheap to copy out,
+    /// so a streaming source can cache it and decode blocks without
+    /// re-validating the header each time.
+    pub fn block_offsets(&self) -> &[u64] {
+        &self.block_offsets
+    }
+
     /// Decodes block `b` into `out` (cleared first). Only this block's
-    /// bytes are touched.
+    /// bytes are touched. Allocates fresh column staging; block-streaming
+    /// callers should hold a [`DecodeScratch`] and use
+    /// [`ColumnarReader::decode_block_with`] instead.
     pub fn decode_block(&self, b: usize, out: &mut Vec<MemOp>) -> Result<(), ColumnarError> {
-        out.clear();
+        self.decode_block_with(b, out, &mut DecodeScratch::default())
+    }
+
+    /// [`ColumnarReader::decode_block`] with caller-owned column staging:
+    /// `scratch` is reused across calls, so a whole-trace replay allocates
+    /// its decode buffers once instead of once per block.
+    pub fn decode_block_with(
+        &self,
+        b: usize,
+        out: &mut Vec<MemOp>,
+        scratch: &mut DecodeScratch,
+    ) -> Result<(), ColumnarError> {
         let Some(&off) = self.block_offsets.get(b) else {
+            out.clear();
             return Err(ColumnarError::Corrupt("block index out of range"));
         };
-        let bytes = self.bytes;
-        let off = off as usize;
-        let n = get_u32(bytes, off, "block op count")? as usize;
-        if n != self.block_len(b) {
-            return Err(ColumnarError::Corrupt(
-                "block op count disagrees with header",
-            ));
-        }
-        let mut sizes = [0usize; 5];
-        for (i, s) in sizes.iter_mut().enumerate() {
-            *s = get_u32(bytes, off + 4 + i * 4, "block section sizes")? as usize;
-        }
-        let mut starts = [0usize; 5];
-        let mut cursor = off + 4 + 5 * 4;
-        for i in 0..5 {
-            starts[i] = cursor;
-            cursor = cursor
-                .checked_add(sizes[i])
-                .ok_or(ColumnarError::Corrupt("section size overflow"))?;
-        }
-        if cursor > bytes.len() {
-            return Err(ColumnarError::Truncated("block sections"));
-        }
-
-        let section = |i: usize| &bytes[starts[i]..starts[i] + sizes[i]];
-
-        // Addresses.
-        let addr_bytes = section(0);
-        let mut addrs = Vec::with_capacity(n);
-        let mut pos = 0usize;
-        let mut prev = 0i64;
-        for i in 0..n {
-            let v = get_varint(addr_bytes, &mut pos, "address column")?;
-            let a = if i == 0 {
-                v as i64
-            } else {
-                prev.wrapping_add(unzigzag(v))
-            };
-            if a < 0 {
-                return Err(ColumnarError::Corrupt("address delta below zero"));
-            }
-            addrs.push(a as u64);
-            prev = a;
-        }
-
-        // Kinds and dtypes via RLE.
-        let mut kinds = Vec::with_capacity(n);
-        let mut pos = 0usize;
-        let kind_bytes = section(1);
-        while kinds.len() < n {
-            let &v = kind_bytes
-                .get(pos)
-                .ok_or(ColumnarError::Truncated("kind column"))?;
-            pos += 1;
-            let run = get_varint(kind_bytes, &mut pos, "kind run length")?;
-            if run == 0 || run > (n - kinds.len()) as u64 {
-                return Err(ColumnarError::Corrupt("kind run length"));
-            }
-            let k = kind_of_byte(v)?;
-            kinds.extend(std::iter::repeat_n(k, run as usize));
-        }
-
-        let mut dtypes = Vec::with_capacity(n);
-        let mut pos = 0usize;
-        let dtype_bytes = section(2);
-        while dtypes.len() < n {
-            let &v = dtype_bytes
-                .get(pos)
-                .ok_or(ColumnarError::Truncated("dtype column"))?;
-            pos += 1;
-            let run = get_varint(dtype_bytes, &mut pos, "dtype run length")?;
-            if run == 0 || run > (n - dtypes.len()) as u64 {
-                return Err(ColumnarError::Corrupt("dtype run length"));
-            }
-            let d = dtype_of_byte(v)?;
-            dtypes.extend(std::iter::repeat_n(d, run as usize));
-        }
-
-        // Producer distances and pre-compute counts.
-        let prod_bytes = section(3);
-        let mut pos = 0usize;
-        let mut producers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let v = get_varint(prod_bytes, &mut pos, "producer column")?;
-            if v >= u64::from(u32::MAX) {
-                return Err(ColumnarError::Corrupt("producer distance overflows u32"));
-            }
-            producers.push(v as u32);
-        }
-        let pre_bytes = section(4);
-        let mut pos = 0usize;
-        for i in 0..n {
-            let v = get_varint(pre_bytes, &mut pos, "pre-compute column")?;
-            if v > u64::from(u16::MAX) {
-                return Err(ColumnarError::Corrupt("pre-compute overflows u16"));
-            }
-            out.push(MemOp::from_columns(
-                VirtAddr::new(addrs[i]),
-                kinds[i],
-                dtypes[i],
-                producers[i],
-                v as u16,
-            ));
-        }
-        Ok(())
+        decode_block_at(self.bytes, off, self.block_len(b), out, scratch)
     }
+}
+
+/// Reusable column staging for block decodes: the per-column vecs
+/// [`ColumnarReader::decode_block`] would otherwise reallocate for every
+/// block. One scratch amortizes them across a whole replay.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    addrs: Vec<u64>,
+    kinds: Vec<AccessKind>,
+    dtypes: Vec<DataType>,
+    producers: Vec<u32>,
+}
+
+/// Decodes the block at byte offset `off` (from a validated directory)
+/// into `out`, expecting `expected_n` ops. The shared body of
+/// [`ColumnarReader::decode_block_with`] and the streaming
+/// [`crate::source::ColumnarSource`], which caches the directory instead
+/// of re-validating the header per block.
+pub(crate) fn decode_block_at(
+    bytes: &[u8],
+    off: u64,
+    expected_n: usize,
+    out: &mut Vec<MemOp>,
+    scratch: &mut DecodeScratch,
+) -> Result<(), ColumnarError> {
+    out.clear();
+    let off = off as usize;
+    let n = get_u32(bytes, off, "block op count")? as usize;
+    if n != expected_n {
+        return Err(ColumnarError::Corrupt(
+            "block op count disagrees with header",
+        ));
+    }
+    let mut sizes = [0usize; 5];
+    for (i, s) in sizes.iter_mut().enumerate() {
+        *s = get_u32(bytes, off + 4 + i * 4, "block section sizes")? as usize;
+    }
+    let mut starts = [0usize; 5];
+    let mut cursor = off + 4 + 5 * 4;
+    for i in 0..5 {
+        starts[i] = cursor;
+        cursor = cursor
+            .checked_add(sizes[i])
+            .ok_or(ColumnarError::Corrupt("section size overflow"))?;
+    }
+    if cursor > bytes.len() {
+        return Err(ColumnarError::Truncated("block sections"));
+    }
+
+    let section = |i: usize| &bytes[starts[i]..starts[i] + sizes[i]];
+
+    // Addresses.
+    let addr_bytes = section(0);
+    let addrs = &mut scratch.addrs;
+    addrs.clear();
+    addrs.reserve(n);
+    let mut pos = 0usize;
+    let mut prev = 0i64;
+    for i in 0..n {
+        let v = get_varint(addr_bytes, &mut pos, "address column")?;
+        let a = if i == 0 {
+            v as i64
+        } else {
+            prev.wrapping_add(unzigzag(v))
+        };
+        if a < 0 {
+            return Err(ColumnarError::Corrupt("address delta below zero"));
+        }
+        addrs.push(a as u64);
+        prev = a;
+    }
+
+    // Kinds and dtypes via RLE.
+    let kinds = &mut scratch.kinds;
+    kinds.clear();
+    kinds.reserve(n);
+    let mut pos = 0usize;
+    let kind_bytes = section(1);
+    while kinds.len() < n {
+        let &v = kind_bytes
+            .get(pos)
+            .ok_or(ColumnarError::Truncated("kind column"))?;
+        pos += 1;
+        let run = get_varint(kind_bytes, &mut pos, "kind run length")?;
+        if run == 0 || run > (n - kinds.len()) as u64 {
+            return Err(ColumnarError::Corrupt("kind run length"));
+        }
+        let k = kind_of_byte(v)?;
+        kinds.extend(std::iter::repeat_n(k, run as usize));
+    }
+
+    let dtypes = &mut scratch.dtypes;
+    dtypes.clear();
+    dtypes.reserve(n);
+    let mut pos = 0usize;
+    let dtype_bytes = section(2);
+    while dtypes.len() < n {
+        let &v = dtype_bytes
+            .get(pos)
+            .ok_or(ColumnarError::Truncated("dtype column"))?;
+        pos += 1;
+        let run = get_varint(dtype_bytes, &mut pos, "dtype run length")?;
+        if run == 0 || run > (n - dtypes.len()) as u64 {
+            return Err(ColumnarError::Corrupt("dtype run length"));
+        }
+        let d = dtype_of_byte(v)?;
+        dtypes.extend(std::iter::repeat_n(d, run as usize));
+    }
+
+    // Producer distances and pre-compute counts.
+    let prod_bytes = section(3);
+    let mut pos = 0usize;
+    let producers = &mut scratch.producers;
+    producers.clear();
+    producers.reserve(n);
+    for _ in 0..n {
+        let v = get_varint(prod_bytes, &mut pos, "producer column")?;
+        if v >= u64::from(u32::MAX) {
+            return Err(ColumnarError::Corrupt("producer distance overflows u32"));
+        }
+        producers.push(v as u32);
+    }
+    let pre_bytes = section(4);
+    let mut pos = 0usize;
+    out.reserve(n);
+    for i in 0..n {
+        let v = get_varint(pre_bytes, &mut pos, "pre-compute column")?;
+        if v > u64::from(u16::MAX) {
+            return Err(ColumnarError::Corrupt("pre-compute overflows u16"));
+        }
+        out.push(MemOp::from_columns(
+            VirtAddr::new(addrs[i]),
+            kinds[i],
+            dtypes[i],
+            producers[i],
+            v as u16,
+        ));
+    }
+    Ok(())
 }
 
 /// Decodes a whole encoded stream back into ops, verifying the content
@@ -518,8 +574,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<MemOp>, ColumnarError> {
     let reader = ColumnarReader::new(bytes)?;
     let mut ops = Vec::with_capacity(reader.op_count() as usize);
     let mut block = Vec::new();
+    let mut scratch = DecodeScratch::default();
     for b in 0..reader.block_count() {
-        reader.decode_block(b, &mut block)?;
+        reader.decode_block_with(b, &mut block, &mut scratch)?;
         ops.append(&mut block);
     }
     let computed = content_digest(&ops);

@@ -12,7 +12,7 @@
 //!   stream (typically an `mmap`ed file, see [`crate::mmap::MappedFile`]),
 //!   holding exactly one decoded block at a time.
 
-use crate::columnar::{ColumnarError, ColumnarReader, BLOCK_OPS};
+use crate::columnar::{decode_block_at, ColumnarError, ColumnarReader, DecodeScratch, BLOCK_OPS};
 use crate::mmap::MappedFile;
 use crate::op::MemOp;
 use std::path::Path;
@@ -27,6 +27,17 @@ pub trait TraceSource {
     /// at least one op. Implementations choose the run length (e.g. up to
     /// a block boundary), so callers loop until empty.
     fn fetch(&mut self, pos: u64, max: usize) -> &[MemOp];
+
+    /// The block cursor: the source's natural block holding `pos` — the
+    /// maximal run it can serve without re-decoding — clipped to `max`.
+    /// Batched replay loops precompute one span plan per returned block,
+    /// so larger runs mean fewer, bigger plans; for [`SliceSource`] that
+    /// is the whole remaining trace, for [`ColumnarSource`] the rest of
+    /// the decoded [`BLOCK_OPS`]-op block. Defaults to
+    /// [`TraceSource::fetch`], which already returns maximal runs.
+    fn next_block(&mut self, pos: u64, max: usize) -> &[MemOp] {
+        self.fetch(pos, max)
+    }
 }
 
 /// In-memory ops as a [`TraceSource`]; `fetch` is a bounds-checked
@@ -62,6 +73,11 @@ pub struct ColumnarSource<B: AsRef<[u8]>> {
     bytes: B,
     op_count: u64,
     digest: u64,
+    /// Block directory copied out of the validated header, so per-block
+    /// decodes skip re-parsing (and re-allocating) the directory.
+    block_offsets: Vec<u64>,
+    /// Reused column staging across block decodes.
+    scratch: DecodeScratch,
     /// Decoded ops of `cur_block` (`usize::MAX` = nothing decoded yet).
     buf: Vec<MemOp>,
     cur_block: usize,
@@ -72,10 +88,13 @@ impl<B: AsRef<[u8]>> ColumnarSource<B> {
     pub fn new(bytes: B) -> Result<Self, ColumnarError> {
         let reader = ColumnarReader::new(bytes.as_ref())?;
         let (op_count, digest) = (reader.op_count(), reader.digest());
+        let block_offsets = reader.block_offsets().to_vec();
         Ok(ColumnarSource {
             bytes,
             op_count,
             digest,
+            block_offsets,
+            scratch: DecodeScratch::default(),
             buf: Vec::new(),
             cur_block: usize::MAX,
         })
@@ -92,12 +111,22 @@ impl<B: AsRef<[u8]>> ColumnarSource<B> {
         &self.bytes
     }
 
-    /// Decodes the block holding `pos`, propagating typed errors.
+    /// Decodes the block holding `pos`, propagating typed errors. The
+    /// header was validated in `new` and its directory cached, so this
+    /// touches only the block's own bytes and reuses the scratch staging.
     fn load_block(&mut self, block: usize) -> Result<(), ColumnarError> {
-        // Header validated in `new`; re-deriving the reader borrows the
-        // bytes only for the duration of the decode.
-        let reader = ColumnarReader::new(self.bytes.as_ref())?;
-        reader.decode_block(block, &mut self.buf)?;
+        let Some(&off) = self.block_offsets.get(block) else {
+            return Err(ColumnarError::Corrupt("block index out of range"));
+        };
+        let start = block as u64 * BLOCK_OPS as u64;
+        let expected = (self.op_count - start).min(BLOCK_OPS as u64) as usize;
+        decode_block_at(
+            self.bytes.as_ref(),
+            off,
+            expected,
+            &mut self.buf,
+            &mut self.scratch,
+        )?;
         self.cur_block = block;
         Ok(())
     }
