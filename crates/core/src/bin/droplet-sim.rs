@@ -14,6 +14,7 @@
 use droplet::experiments::ExperimentCtx;
 use droplet::obs::ObsConfig;
 use droplet::report::Table;
+use droplet::specparse;
 use droplet::trace::{columnar, open_columnar, TraceSource};
 use droplet::{
     run_sweep, run_workload, run_workload_from, PrefetcherKind, RunResult, SweepCell, WorkloadSpec,
@@ -47,54 +48,14 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_algo(s: &str) -> Algorithm {
-    match s.to_ascii_lowercase().as_str() {
-        "bc" => Algorithm::Bc,
-        "bfs" => Algorithm::Bfs,
-        "pr" => Algorithm::Pr,
-        "sssp" => Algorithm::Sssp,
-        "cc" => Algorithm::Cc,
-        _ => usage(),
-    }
-}
-
-fn parse_dataset(s: &str) -> Dataset {
-    match s.to_ascii_lowercase().as_str() {
-        "kron" => Dataset::Kron,
-        "urand" => Dataset::Urand,
-        "orkut" => Dataset::Orkut,
-        "livejournal" | "lj" => Dataset::LiveJournal,
-        "road" => Dataset::Road,
-        _ => usage(),
-    }
-}
-
-fn parse_prefetcher(s: &str) -> PrefetcherKind {
-    match s.to_ascii_lowercase().as_str() {
-        "none" | "baseline" => PrefetcherKind::None,
-        "nextline" | "next-line" => PrefetcherKind::NextLine,
-        "ghb" => PrefetcherKind::Ghb,
-        "vldp" => PrefetcherKind::Vldp,
-        "stream" => PrefetcherKind::Stream,
-        "streammpp1" | "stream-mpp1" => PrefetcherKind::StreamMpp1,
-        "droplet" => PrefetcherKind::Droplet,
-        "mono" | "monodropletl1" => PrefetcherKind::MonoDropletL1,
-        "adaptive" | "droplet-adaptive" => PrefetcherKind::AdaptiveDroplet,
-        _ => usage(),
-    }
-}
-
-fn parse_scale(s: &str) -> DatasetScale {
-    match s.to_ascii_lowercase().as_str() {
-        "tiny" => DatasetScale::Tiny,
-        "small" => DatasetScale::Small,
-        "sim" => DatasetScale::Sim,
-        _ => usage(),
-    }
-}
-
-fn parse_policy(s: &str) -> ReplacementPolicy {
-    ReplacementPolicy::parse(s).unwrap_or_else(|| usage())
+/// Unwraps a shared-spec-parse result, printing the offending flag and
+/// value to stderr (the same field-level message `droplet-serve` returns
+/// as an HTTP 400) before the usage text.
+fn flag_value<T>(parsed: Result<T, droplet::SpecError>) -> T {
+    parsed.unwrap_or_else(|e| {
+        eprintln!("error: --{e}");
+        usage()
+    })
 }
 
 #[derive(Default)]
@@ -146,21 +107,45 @@ fn parse_flags(rest: &[String]) -> Args {
             }
             _ => {}
         }
-        let Some(value) = it.next() else { usage() };
+        let Some(value) = it.next() else {
+            eprintln!("error: {flag}: missing value");
+            usage()
+        };
+        // Field names match the droplet-serve spec fields, so the CLI and
+        // the HTTP 400 responses report identical diagnostics.
         match flag.as_str() {
-            "--algo" => args.algo = Some(parse_algo(value)),
-            "--dataset" => args.dataset = Some(parse_dataset(value)),
-            "--prefetcher" => args.prefetcher = Some(parse_prefetcher(value)),
-            "--scale" => args.scale = Some(parse_scale(value)),
-            "--budget" => args.budget = Some(value.parse().unwrap_or_else(|_| usage())),
-            "--threads" => args.threads = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--algo" => args.algo = Some(flag_value(specparse::parse_algo("algo", value))),
+            "--dataset" => {
+                args.dataset = Some(flag_value(specparse::parse_dataset("dataset", value)))
+            }
+            "--prefetcher" => {
+                args.prefetcher = Some(flag_value(specparse::parse_prefetcher("prefetcher", value)))
+            }
+            "--scale" => args.scale = Some(flag_value(specparse::parse_scale("scale", value))),
+            "--budget" => args.budget = Some(flag_value(specparse::parse_u64("budget", value))),
+            "--threads" => {
+                args.threads = Some(flag_value(specparse::parse_positive_usize(
+                    "threads", value,
+                )))
+            }
             "--obs" => args.obs_path = Some(value.clone()),
-            "--epoch-ops" => args.epoch_ops = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--epoch-ops" => {
+                args.epoch_ops = Some(flag_value(specparse::parse_u64("epoch-ops", value)))
+            }
             "--trace-file" => args.trace_file = Some(value.clone()),
-            "--l1-policy" => args.l1_policy = Some(parse_policy(value)),
-            "--l2-policy" => args.l2_policy = Some(parse_policy(value)),
-            "--l3-policy" => args.l3_policy = Some(parse_policy(value)),
-            _ => usage(),
+            "--l1-policy" => {
+                args.l1_policy = Some(flag_value(specparse::parse_policy("l1-policy", value)))
+            }
+            "--l2-policy" => {
+                args.l2_policy = Some(flag_value(specparse::parse_policy("l2-policy", value)))
+            }
+            "--l3-policy" => {
+                args.l3_policy = Some(flag_value(specparse::parse_policy("l3-policy", value)))
+            }
+            _ => {
+                eprintln!("error: {flag}: unknown flag");
+                usage()
+            }
         }
     }
     args
@@ -237,6 +222,7 @@ fn report(label: &str, r: &RunResult) {
             r.warmup_ops_requested, r.warmup_ops_applied
         );
     }
+    println!("digest               {:016x}", r.digest());
     println!("manifest             {}", r.manifest.render_json());
 }
 

@@ -298,21 +298,10 @@ mod tests {
     }
 
     /// Digest of everything deterministic in a result (manifest lineage and
-    /// wall time excluded).
+    /// wall time excluded) — [`RunResult::digest`], the same identity
+    /// `droplet-serve` dedupes responses on.
     fn digest(r: &RunResult) -> u64 {
-        let repr = format!(
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}",
-            r.core,
-            r.l1,
-            r.l2,
-            r.l3,
-            r.dram,
-            r.mpp,
-            r.sys,
-            r.warmup_boundary_cycle,
-            r.warmup_ops_applied,
-        );
-        droplet_obs::fnv1a(repr.as_bytes())
+        r.digest()
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod fork;
 pub mod overhead;
 pub mod pool;
 pub mod report;
+pub mod specparse;
 pub mod system;
 pub mod trace_cache;
 
@@ -47,9 +48,10 @@ pub use fork::{
     WarmupSnapshot,
 };
 pub use pool::JobPool;
+pub use specparse::SpecError;
 pub use system::{
-    run_workload, run_workload_from, run_workload_scalar, ForkMutation, HotLaneMutation, RunResult,
-    System, SystemProbe, SystemSnapshot, SystemStats,
+    config_hash, run_workload, run_workload_from, run_workload_scalar, run_workload_with_stream,
+    ForkMutation, HotLaneMutation, RunResult, System, SystemProbe, SystemSnapshot, SystemStats,
 };
 pub use trace_cache::TraceCache;
 

@@ -1,0 +1,173 @@
+//! Field-level parsing and validation of experiment-spec values, shared
+//! between the `droplet-sim` CLI flags and the `droplet-serve` HTTP/JSON
+//! spec endpoints.
+//!
+//! Every parser returns [`SpecError`] naming the offending field, the
+//! rejected value, and the accepted domain — so the CLI can print
+//! `error: --budget: invalid value "abc" (expected a non-negative
+//! integer)` and the server can reject the same spec with an HTTP 400
+//! carrying the same field-level message, without the two front ends
+//! drifting on what a valid spec is.
+
+use crate::config::PrefetcherKind;
+use droplet_cache::ReplacementPolicy;
+use droplet_gap::Algorithm;
+use droplet_graph::{Dataset, DatasetScale};
+use std::fmt;
+
+/// A rejected spec field: which field, what value, what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Spec field name, without flag dashes (`"budget"`, `"algo"`).
+    pub field: String,
+    /// The value as submitted.
+    pub value: String,
+    /// Human-readable domain description.
+    pub expected: &'static str,
+}
+
+impl SpecError {
+    fn new(field: &str, value: &str, expected: &'static str) -> Self {
+        SpecError {
+            field: field.to_string(),
+            value: value.to_string(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: invalid value {:?} (expected {})",
+            self.field, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses an algorithm name (`bc|bfs|pr|sssp|cc`), naming `field` on error.
+pub fn parse_algo(field: &str, value: &str) -> Result<Algorithm, SpecError> {
+    match value.to_ascii_lowercase().as_str() {
+        "bc" => Ok(Algorithm::Bc),
+        "bfs" => Ok(Algorithm::Bfs),
+        "pr" => Ok(Algorithm::Pr),
+        "sssp" => Ok(Algorithm::Sssp),
+        "cc" => Ok(Algorithm::Cc),
+        _ => Err(SpecError::new(field, value, "one of bc|bfs|pr|sssp|cc")),
+    }
+}
+
+/// Parses a dataset name (`kron|urand|orkut|livejournal|road`).
+pub fn parse_dataset(field: &str, value: &str) -> Result<Dataset, SpecError> {
+    match value.to_ascii_lowercase().as_str() {
+        "kron" => Ok(Dataset::Kron),
+        "urand" => Ok(Dataset::Urand),
+        "orkut" => Ok(Dataset::Orkut),
+        "livejournal" | "lj" => Ok(Dataset::LiveJournal),
+        "road" => Ok(Dataset::Road),
+        _ => Err(SpecError::new(
+            field,
+            value,
+            "one of kron|urand|orkut|livejournal|road",
+        )),
+    }
+}
+
+/// Parses a prefetcher configuration name.
+pub fn parse_prefetcher(field: &str, value: &str) -> Result<PrefetcherKind, SpecError> {
+    match value.to_ascii_lowercase().as_str() {
+        "none" | "baseline" => Ok(PrefetcherKind::None),
+        "nextline" | "next-line" => Ok(PrefetcherKind::NextLine),
+        "ghb" => Ok(PrefetcherKind::Ghb),
+        "vldp" => Ok(PrefetcherKind::Vldp),
+        "stream" => Ok(PrefetcherKind::Stream),
+        "streammpp1" | "stream-mpp1" => Ok(PrefetcherKind::StreamMpp1),
+        "droplet" => Ok(PrefetcherKind::Droplet),
+        "mono" | "monodropletl1" => Ok(PrefetcherKind::MonoDropletL1),
+        "adaptive" | "droplet-adaptive" => Ok(PrefetcherKind::AdaptiveDroplet),
+        _ => Err(SpecError::new(
+            field,
+            value,
+            "one of none|nextline|ghb|vldp|stream|streammpp1|droplet|mono|adaptive",
+        )),
+    }
+}
+
+/// Parses a dataset scale (`tiny|small|sim`).
+pub fn parse_scale(field: &str, value: &str) -> Result<DatasetScale, SpecError> {
+    match value.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(DatasetScale::Tiny),
+        "small" => Ok(DatasetScale::Small),
+        "sim" => Ok(DatasetScale::Sim),
+        _ => Err(SpecError::new(field, value, "one of tiny|small|sim")),
+    }
+}
+
+/// Parses a replacement-policy name (`lru|srrip|brrip|drrip|ship`).
+pub fn parse_policy(field: &str, value: &str) -> Result<ReplacementPolicy, SpecError> {
+    ReplacementPolicy::parse(value)
+        .ok_or_else(|| SpecError::new(field, value, "one of lru|srrip|brrip|drrip|ship"))
+}
+
+/// Parses a non-negative integer field (`budget`, `epoch_ops`).
+pub fn parse_u64(field: &str, value: &str) -> Result<u64, SpecError> {
+    value
+        .parse()
+        .map_err(|_| SpecError::new(field, value, "a non-negative integer"))
+}
+
+/// Parses a positive integer field (`threads`).
+pub fn parse_positive_usize(field: &str, value: &str) -> Result<usize, SpecError> {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(SpecError::new(field, value, "a positive integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_parse() {
+        assert_eq!(parse_algo("algo", "PR").unwrap(), Algorithm::Pr);
+        assert_eq!(
+            parse_dataset("dataset", "lj").unwrap(),
+            Dataset::LiveJournal
+        );
+        assert_eq!(
+            parse_prefetcher("prefetcher", "droplet").unwrap(),
+            PrefetcherKind::Droplet
+        );
+        assert_eq!(parse_scale("scale", "tiny").unwrap(), DatasetScale::Tiny);
+        assert_eq!(
+            parse_policy("l3_policy", "srrip").unwrap(),
+            ReplacementPolicy::Srrip
+        );
+        assert_eq!(parse_u64("budget", "30000").unwrap(), 30_000);
+        assert_eq!(parse_positive_usize("threads", "4").unwrap(), 4);
+    }
+
+    #[test]
+    fn errors_name_field_value_and_domain() {
+        let e = parse_u64("budget", "abc").unwrap_err();
+        assert_eq!(e.field, "budget");
+        assert_eq!(e.value, "abc");
+        assert_eq!(
+            e.to_string(),
+            "budget: invalid value \"abc\" (expected a non-negative integer)"
+        );
+        let e = parse_algo("algo", "dijkstra").unwrap_err();
+        assert!(e.to_string().contains("bc|bfs|pr|sssp|cc"));
+        let e = parse_positive_usize("threads", "0").unwrap_err();
+        assert_eq!(e.expected, "a positive integer");
+        let e = parse_policy("l2_policy", "mru").unwrap_err();
+        assert_eq!(e.field, "l2_policy");
+        assert!(parse_prefetcher("prefetcher", "magic").is_err());
+        assert!(parse_scale("scale", "huge").is_err());
+        assert!(parse_dataset("dataset", "twitter").is_err());
+    }
+}

@@ -1165,6 +1165,17 @@ impl System<'_> {
         obs.flush_final(self.obs_snapshot(end_cycle));
         Some(obs.into_journal())
     }
+
+    /// Subscribes `stream` to the epoch sampler: measurement-window epochs
+    /// are pushed as JSONL lines while the run simulates (the
+    /// `droplet-serve` streaming path). A no-op when observability is off —
+    /// callers wanting live epochs must set [`SystemConfig::obs`] first.
+    /// Subscribing never changes simulated behavior or digests.
+    pub fn attach_obs_stream(&mut self, stream: std::sync::Arc<droplet_obs::EpochStream>) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.set_stream(stream);
+        }
+    }
 }
 
 /// Everything measured in one run.
@@ -1279,12 +1290,37 @@ impl RunResult {
     pub fn prefetch_accuracy(&self, dtype: DataType) -> f64 {
         self.sys.prefetch_accuracy(dtype)
     }
+
+    /// FNV-1a digest over every deterministic field of the result — all
+    /// simulated statistics plus the warm-up boundary, excluding manifest
+    /// lineage, wall time, and the journal (which add sampling-cadence and
+    /// timing noise). Two runs of the same (trace, config, warm-up) always
+    /// digest equal regardless of threading, forking, chunking, or
+    /// observability; the fork-determinism and serve dedupe suites pin
+    /// this.
+    pub fn digest(&self) -> u64 {
+        let repr = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}",
+            self.core,
+            self.l1,
+            self.l2,
+            self.l3,
+            self.dram,
+            self.mpp,
+            self.sys,
+            self.warmup_boundary_cycle,
+            self.warmup_ops_applied,
+        );
+        fnv1a(repr.as_bytes())
+    }
 }
 
 /// FNV-1a hash over the *simulated* machine: the configuration with the
 /// observability option cleared, so sampled and unsampled runs of the same
-/// machine share a hash.
-fn config_hash(cfg: &SystemConfig) -> u64 {
+/// machine share a hash. This is the hash every [`RunManifest`] records and
+/// the identity `droplet-serve` keys its in-flight dedupe and on-disk
+/// result store on.
+pub fn config_hash(cfg: &SystemConfig) -> u64 {
     let mut machine = cfg.clone();
     machine.obs = None;
     fnv1a(format!("{machine:?}").as_bytes())
@@ -1369,10 +1405,30 @@ pub fn run_workload_from(
     cfg: &SystemConfig,
     warmup_ops: usize,
 ) -> RunResult {
+    run_workload_with_stream(source, bundle, cfg, warmup_ops, None)
+}
+
+/// [`run_workload_from`] with an optional live [`EpochStream`] subscribed
+/// before the first op: measurement epochs are pushed to the stream as the
+/// run progresses, and the stream is finished when the result is
+/// assembled. Requires [`SystemConfig::obs`] to be set for any lines to
+/// flow; results are bit-identical to the unstreamed runners either way.
+///
+/// [`EpochStream`]: droplet_obs::EpochStream
+pub fn run_workload_with_stream(
+    source: &mut dyn TraceSource,
+    bundle: &TraceBundle,
+    cfg: &SystemConfig,
+    warmup_ops: usize,
+    stream: Option<std::sync::Arc<droplet_obs::EpochStream>>,
+) -> RunResult {
     let wall = std::time::Instant::now();
     let total = source.op_count();
     let mut engine = CoreEngine::new(cfg.core);
     let mut system = System::new(cfg.clone(), bundle);
+    if let Some(stream) = stream {
+        system.attach_obs_stream(stream);
+    }
     let applied = (warmup_ops as u64).min(total / 2);
     feed_warmup(&mut engine, source, &mut system, applied);
     let core_result = feed_measure(&mut engine, source, &mut system, applied, total);

@@ -24,6 +24,20 @@
 //! stream. A later request decodes the artifact back (the codec verifies
 //! its content digest) and re-residents the bundle, so spilling never
 //! changes results, only memory and reload latency.
+//!
+//! [`TraceCache::with_byte_budget_drop_only`] bounds memory without a
+//! spill directory: evicted bundles are dropped outright and rebuilt from
+//! their [`WorkloadSpec`] on the next request. A byte budget therefore
+//! *never* panics for lack of a spill dir — the invariant a long-running
+//! server depends on.
+//!
+//! # Poisoning
+//!
+//! Every lock in the cache recovers from poisoning instead of panicking:
+//! a build, encode, or decode that panics leaves its slot in whatever
+//! valid state it last held (`Empty` is rebuilt, `Resident`/`Spilled` are
+//! served as usual), so one panicked job never wedges the cache for later
+//! requests. Pinned by `panicking_build_leaves_cache_usable` below.
 
 use crate::datasets::WorkloadSpec;
 use droplet_gap::TraceBundle;
@@ -32,7 +46,15 @@ use droplet_trace::columnar;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the data from a poisoned mutex. Safe here because
+/// every critical section in this module leaves its protected state valid
+/// at all times (slots are replaced wholesale; accounting entries are
+/// inserted/removed atomically from the map's point of view).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 type Key = (WorkloadSpec, u64);
 
@@ -123,17 +145,48 @@ impl TraceCache {
         }
     }
 
+    /// An empty cache that keeps at most `budget_bytes` of resident trace
+    /// ops with **no** spill directory: over-budget LRU bundles are dropped
+    /// outright and rebuilt from their [`WorkloadSpec`] on the next
+    /// request. Trades reload latency for zero disk use — and makes a byte
+    /// budget safe to configure on servers with no writable scratch space.
+    pub fn with_byte_budget_drop_only(budget_bytes: u64) -> Self {
+        TraceCache {
+            policy: Arc::new(Policy {
+                budget_bytes: Some(budget_bytes),
+                spill_dir: None,
+            }),
+            ..Self::default()
+        }
+    }
+
     /// The bundle for `(spec, budget)`, building it on first request and
-    /// reloading it from its spill artifact if it was evicted.
+    /// reloading it from its spill artifact (or rebuilding it) if it was
+    /// evicted.
     pub fn get_or_build(&self, spec: WorkloadSpec, budget: u64) -> Arc<TraceBundle> {
+        self.get_or_build_with(spec, budget, || spec.build_trace_with_budget(budget))
+    }
+
+    /// [`TraceCache::get_or_build`] with an explicit builder — the seam the
+    /// poisoning tests inject faults through, and an escape hatch for
+    /// callers whose bundles do not come from [`WorkloadSpec::build_trace_with_budget`].
+    /// The builder runs (at most once per miss) while holding only this
+    /// key's cell lock; a panicking builder leaves the cell `Empty` and the
+    /// cache fully usable.
+    pub fn get_or_build_with(
+        &self,
+        spec: WorkloadSpec,
+        budget: u64,
+        build: impl FnOnce() -> TraceBundle,
+    ) -> Arc<TraceBundle> {
         let key = (spec, budget);
         let cell = {
-            let mut map = self.entries.lock().expect("trace cache poisoned");
+            let mut map = lock_recover(&self.entries);
             map.entry(key)
                 .or_insert_with(|| Arc::new(Mutex::new(Slot::Empty)))
                 .clone()
         };
-        let mut slot = cell.lock().expect("trace cache cell poisoned");
+        let mut slot = lock_recover(&cell);
         let bundle = match &*slot {
             Slot::Resident(b) => Arc::clone(b),
             Slot::Spilled { skeleton, path } => {
@@ -150,7 +203,7 @@ impl TraceCache {
                 b
             }
             Slot::Empty => {
-                let b = Arc::new(spec.build_trace_with_budget(budget));
+                let b = Arc::new(build());
                 *slot = Slot::Resident(Arc::clone(&b));
                 b
             }
@@ -160,11 +213,12 @@ impl TraceCache {
         bundle
     }
 
-    /// Stamps `key` most-recently-used, accounts its bytes, and spills LRU
-    /// entries if the resident set now exceeds the budget.
+    /// Stamps `key` most-recently-used, accounts its bytes, and spills (or
+    /// drops, without a spill dir) LRU entries if the resident set now
+    /// exceeds the budget.
     fn note_use(&self, key: Key, bundle: &TraceBundle) {
         let victims = {
-            let mut acc = self.accounting.lock().expect("trace cache poisoned");
+            let mut acc = lock_recover(&self.accounting);
             acc.clock += 1;
             let stamp = acc.clock;
             acc.resident.insert(key, (ops_bytes(bundle), stamp));
@@ -198,7 +252,7 @@ impl TraceCache {
             if let Some(still_resident_bytes) = self.spill(victim) {
                 // Spill failed (unwritable spill dir): the bundle stays in
                 // memory, so put it back in the books as the coldest entry.
-                let mut acc = self.accounting.lock().expect("trace cache poisoned");
+                let mut acc = lock_recover(&self.accounting);
                 acc.resident
                     .entry(victim)
                     .or_insert((still_resident_bytes, 0));
@@ -206,22 +260,28 @@ impl TraceCache {
         }
     }
 
-    /// Encodes `key`'s resident ops to its columnar artifact and drops them
-    /// from memory. A no-op if the entry is gone or already spilled (a racing
-    /// user may have reloaded it — then it is simply resident and re-counted).
-    /// Returns the still-resident byte count when the spill could not be
-    /// written, `None` on success or no-op.
+    /// Evicts `key`'s resident ops: encodes them to the columnar artifact
+    /// when a spill dir is configured, or drops them outright (the slot
+    /// reverts to `Empty` and rebuilds on the next request) without one. A
+    /// no-op if the entry is gone or already spilled (a racing user may
+    /// have reloaded it — then it is simply resident and re-counted).
+    /// Returns the still-resident byte count when the eviction could not
+    /// happen, `None` on success or no-op.
     fn spill(&self, key: Key) -> Option<u64> {
-        let dir = self.policy.spill_dir.as_ref().expect("spill without dir");
         let cell = {
-            let map = self.entries.lock().expect("trace cache poisoned");
+            let map = lock_recover(&self.entries);
             match map.get(&key) {
                 Some(c) => Arc::clone(c),
                 None => return None,
             }
         };
-        let mut slot = cell.lock().expect("trace cache cell poisoned");
+        let mut slot = lock_recover(&cell);
         let Slot::Resident(bundle) = &*slot else {
+            return None;
+        };
+        let Some(dir) = self.policy.spill_dir.as_ref() else {
+            // Drop-only budget: no artifact to write — rebuilt on demand.
+            *slot = Slot::Empty;
             return None;
         };
         if std::fs::create_dir_all(dir).is_err() {
@@ -246,7 +306,7 @@ impl TraceCache {
 
     /// How many bundles are tracked (resident + spilled + in-flight builds).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("trace cache poisoned").len()
+        lock_recover(&self.entries).len()
     }
 
     /// Whether the cache holds no bundles.
@@ -256,9 +316,7 @@ impl TraceCache {
 
     /// Summed `ops` bytes of the resident (non-spilled) bundles.
     pub fn resident_bytes(&self) -> u64 {
-        self.accounting
-            .lock()
-            .expect("trace cache poisoned")
+        lock_recover(&self.accounting)
             .resident
             .values()
             .map(|(b, _)| b)
@@ -267,14 +325,9 @@ impl TraceCache {
 
     /// How many tracked bundles are currently spilled to disk.
     pub fn spilled_len(&self) -> usize {
-        let map = self.entries.lock().expect("trace cache poisoned");
+        let map = lock_recover(&self.entries);
         map.values()
-            .filter(|c| {
-                matches!(
-                    &*c.lock().expect("trace cache cell poisoned"),
-                    Slot::Spilled { .. }
-                )
-            })
+            .filter(|c| matches!(&*lock_recover(c), Slot::Spilled { .. }))
             .count()
     }
 
@@ -282,9 +335,8 @@ impl TraceCache {
     /// Spill artifacts on disk are left behind; a rebuilt entry overwrites
     /// its artifact on the next spill.
     pub fn clear(&self) {
-        self.entries.lock().expect("trace cache poisoned").clear();
-        let mut acc = self.accounting.lock().expect("trace cache poisoned");
-        acc.resident.clear();
+        lock_recover(&self.entries).clear();
+        lock_recover(&self.accounting).resident.clear();
     }
 }
 
@@ -410,6 +462,73 @@ mod tests {
         let _ = cache.get_or_build(spec2(), 30_000);
         assert_eq!(cache.spilled_len(), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_only_budget_evicts_without_dir_and_rebuilds() {
+        // A byte budget with no spill dir must never hit the old
+        // `expect("spill without dir")` panic: victims drop and rebuild.
+        let cache = TraceCache::with_byte_budget_drop_only(1);
+        let a = cache.get_or_build(spec(), 30_000);
+        let b = cache.get_or_build(spec2(), 30_000);
+        assert_eq!(cache.spilled_len(), 0, "nothing spills without a dir");
+        assert_eq!(cache.len(), 2, "dropped entries stay tracked");
+        assert_eq!(
+            cache.resident_bytes(),
+            ops_bytes(&b),
+            "only the just-used bundle stays resident"
+        );
+        let a2 = cache.get_or_build(spec(), 30_000);
+        assert!(!Arc::ptr_eq(&a, &a2), "rebuild is a new allocation");
+        assert_eq!(a.ops, a2.ops);
+        assert_eq!(a.digest, a2.digest);
+    }
+
+    #[test]
+    fn panicking_build_leaves_cache_usable() {
+        let cache = TraceCache::new();
+        // A job that panics mid-build poisons the key's cell mutex...
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build_with(spec(), 30_000, || panic!("injected build fault"))
+        }));
+        assert!(poisoned.is_err());
+        // ...but every later request — same key and other keys — recovers
+        // and serves normally instead of propagating the poison forever.
+        let a = cache.get_or_build(spec(), 30_000);
+        let b = cache.get_or_build(spec(), 30_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = cache.get_or_build(spec2(), 30_000);
+        assert!(!other.ops.is_empty());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn panicking_pool_job_leaves_cache_usable_for_other_workers() {
+        let cache = TraceCache::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            JobPool::with_threads(4).run(
+                (0..8)
+                    .map(|i| {
+                        let cache = cache.clone();
+                        move || {
+                            if i == 3 {
+                                cache.get_or_build_with(spec(), 30_000, || {
+                                    panic!("worker {i} exploded")
+                                })
+                            } else {
+                                cache.get_or_build(spec2(), 30_000)
+                            }
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(result.is_err(), "pool propagates the worker panic");
+        // The cache survives the panicked worker: both keys still serve.
+        let a = cache.get_or_build(spec(), 30_000);
+        assert!(!a.ops.is_empty());
+        let b = cache.get_or_build(spec2(), 30_000);
+        assert!(!b.ops.is_empty());
     }
 
     #[test]

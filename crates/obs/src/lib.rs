@@ -34,6 +34,101 @@ use droplet_mem::DramStats;
 use droplet_prefetch::MppStats;
 use droplet_trace::{Cycle, DataType};
 use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A live feed of a run's epoch JSONL lines, for consumers that want the
+/// journal *while the run is still simulating* (the `droplet-serve`
+/// streaming endpoint) rather than as a [`RunJournal`] at the end.
+///
+/// The producing [`ObsRecorder`] pushes one rendered line per measurement
+/// epoch (warm-up epochs are never streamed — the recorder only streams
+/// after [`ObsRecorder::reset`] opens the window); consumers block in
+/// [`EpochStream::next_line`] with a cursor. Pushing never touches
+/// simulated state, so streamed and unstreamed runs stay bit-identical.
+pub struct EpochStream {
+    state: Mutex<StreamState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct StreamState {
+    lines: Vec<String>,
+    finished: bool,
+}
+
+/// Poisoning recovery: an `EpochStream` holds only rendered lines, which
+/// are always consistent, so a panicked producer must not wedge readers.
+fn stream_lock(m: &Mutex<StreamState>) -> std::sync::MutexGuard<'_, StreamState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl EpochStream {
+    /// A fresh, unfinished stream ready to share with a recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EpochStream {
+            state: Mutex::new(StreamState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Appends one rendered JSONL line and wakes blocked readers.
+    pub fn push(&self, line: String) {
+        let mut s = stream_lock(&self.state);
+        s.lines.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Marks the run over; blocked and future readers past the final line
+    /// get `None`. Idempotent.
+    pub fn finish(&self) {
+        let mut s = stream_lock(&self.state);
+        s.finished = true;
+        self.cv.notify_all();
+    }
+
+    /// The line at `cursor` (0-based), blocking until it is produced.
+    /// `None` once the stream is finished and `cursor` is past the end.
+    pub fn next_line(&self, cursor: usize) -> Option<String> {
+        let mut s = stream_lock(&self.state);
+        loop {
+            if cursor < s.lines.len() {
+                return Some(s.lines[cursor].clone());
+            }
+            if s.finished {
+                return None;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Lines pushed so far.
+    pub fn len(&self) -> usize {
+        stream_lock(&self.state).lines.len()
+    }
+
+    /// Whether no lines have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`EpochStream::finish`] has been called.
+    pub fn is_finished(&self) -> bool {
+        stream_lock(&self.state).finished
+    }
+}
+
+impl std::fmt::Debug for EpochStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = stream_lock(&self.state);
+        f.debug_struct("EpochStream")
+            .field("lines", &s.lines.len())
+            .field("finished", &s.finished)
+            .finish()
+    }
+}
 
 /// Configuration of the epoch sampler; `SystemConfig::obs` carries
 /// `Option<ObsConfig>` and `None` (the default) disables the layer.
@@ -115,6 +210,11 @@ pub struct ObsRecorder {
     instructions: u64,
     dropped: u64,
     ring: VecDeque<ObsSnapshot>,
+    /// Live line feed, when a consumer subscribed; lines flow only inside
+    /// the measurement window (`in_window`), so warm-up epochs — which
+    /// [`ObsRecorder::reset`] discards — are never streamed.
+    stream: Option<Arc<EpochStream>>,
+    in_window: bool,
 }
 
 impl ObsRecorder {
@@ -132,12 +232,22 @@ impl ObsRecorder {
             instructions: 0,
             dropped: 0,
             ring: VecDeque::new(),
+            stream: None,
+            in_window: false,
         }
     }
 
     /// The sampler configuration.
     pub fn config(&self) -> ObsConfig {
         self.cfg
+    }
+
+    /// Subscribes `stream` to this recorder: every measurement-window epoch
+    /// is rendered to JSONL and pushed as it is recorded. Reading simulator
+    /// statistics is all the recorder ever does, so a subscribed run stays
+    /// bit-identical to an unsubscribed one.
+    pub fn set_stream(&mut self, stream: Arc<EpochStream>) {
+        self.stream = Some(stream);
     }
 
     /// Counts one retired op worth `instructions` instructions; returns
@@ -163,6 +273,12 @@ impl ObsRecorder {
     pub fn record(&mut self, mut snap: ObsSnapshot) {
         snap.ops = self.total_ops;
         snap.instructions = self.instructions;
+        if let (Some(stream), true) = (&self.stream, self.in_window) {
+            let prev = self.ring.back().unwrap_or(&self.baseline);
+            let index = (self.dropped as usize) + self.ring.len();
+            let m = EpochMetrics::derive(index, prev, &snap);
+            stream.push(m.to_json(&snap, self.window_start));
+        }
         if self.ring.len() == self.cfg.max_epochs {
             self.ring.pop_front();
             self.dropped += 1;
@@ -185,6 +301,7 @@ impl ObsRecorder {
         self.instructions = 0;
         self.dropped = 0;
         self.ring.clear();
+        self.in_window = true;
     }
 
     /// Closes the run at `snap` (taken at the end-of-run retire cycle):
@@ -200,8 +317,12 @@ impl ObsRecorder {
         }
     }
 
-    /// Consumes the recorder into a serializable journal.
+    /// Consumes the recorder into a serializable journal, finishing any
+    /// subscribed [`EpochStream`] so blocked readers drain and return.
     pub fn into_journal(self) -> RunJournal {
+        if let Some(stream) = &self.stream {
+            stream.finish();
+        }
         RunJournal {
             epoch_ops: self.cfg.epoch_ops,
             window_start: self.window_start,
@@ -697,6 +818,52 @@ mod tests {
         let s = m.render_json();
         assert!(s.contains("\"forked_from\": \"000000000000abcd\""));
         assert!(s.contains("\"warmup_shared\": 4096"));
+    }
+
+    #[test]
+    fn stream_receives_window_epochs_only_and_finishes() {
+        let stream = EpochStream::new();
+        let mut r = ObsRecorder::new(ObsConfig::every(1));
+        r.set_stream(Arc::clone(&stream));
+        // Warm-up epoch: recorded, but never streamed.
+        r.on_op(1);
+        r.record(snap(50, 8, 1));
+        assert!(stream.is_empty());
+        r.reset(snap(100, 0, 0));
+        for i in 0..3u64 {
+            r.on_op(1);
+            r.record(snap(100 * (i + 2), 8 * (i + 1), i + 1));
+        }
+        assert_eq!(stream.len(), 3);
+        let line = stream.next_line(0).unwrap();
+        assert!(line.starts_with('{') && line.contains("\"epoch\": 0"));
+        assert!(!stream.is_finished());
+        let j = r.into_journal();
+        assert!(stream.is_finished());
+        assert_eq!(stream.len(), j.epoch_count());
+        // Streamed lines match the journal's own rendering exactly.
+        assert_eq!(
+            (0..stream.len())
+                .map(|i| stream.next_line(i).unwrap() + "\n")
+                .collect::<String>(),
+            j.to_jsonl()
+        );
+        assert_eq!(stream.next_line(3), None);
+    }
+
+    #[test]
+    fn stream_readers_block_until_push_or_finish() {
+        let stream = EpochStream::new();
+        let reader = {
+            let stream = Arc::clone(&stream);
+            std::thread::spawn(move || (stream.next_line(0), stream.next_line(1)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        stream.push("{\"epoch\": 0}".to_string());
+        stream.finish();
+        let (first, second) = reader.join().unwrap();
+        assert_eq!(first.as_deref(), Some("{\"epoch\": 0}"));
+        assert_eq!(second, None);
     }
 
     #[test]

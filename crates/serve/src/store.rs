@@ -1,0 +1,132 @@
+//! Content-addressed on-disk result store.
+//!
+//! Completed run bodies are persisted under
+//! `<dir>/<config_hash:016x>-<workload_hash:016x>.json` — the same key the
+//! in-flight registry uses — so a result survives server restarts and any
+//! later identical submission is served from disk without touching the
+//! engine. Writes go through a `.tmp` + rename so a crash mid-write never
+//! leaves a torn entry, and keys are validated against the fixed
+//! `hex-hex` shape before touching the filesystem (a `GET /result/<key>`
+//! can never escape the store directory).
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// The on-disk store; `None` dir means persistence is disabled (in-flight
+/// dedupe still works, nothing survives the process).
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+}
+
+/// Whether `key` has the canonical `{16 hex}-{16 hex}` shape.
+pub fn valid_key(key: &str) -> bool {
+    let bytes = key.as_bytes();
+    bytes.len() == 33
+        && bytes[16] == b'-'
+        && bytes
+            .iter()
+            .enumerate()
+            .all(|(i, b)| i == 16 || b.is_ascii_hexdigit())
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir`.
+    pub fn open(dir: Option<PathBuf>) -> io::Result<Self> {
+        if let Some(dir) = &dir {
+            fs::create_dir_all(dir)?;
+        }
+        Ok(ResultStore { dir })
+    }
+
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        if !valid_key(key) {
+            return None;
+        }
+        self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// The stored body for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<String> {
+        fs::read_to_string(self.path_for(key)?).ok()
+    }
+
+    /// Persists `body` under `key` (write-then-rename; last writer wins,
+    /// which is harmless because equal keys imply bit-identical bodies).
+    pub fn put(&self, key: &str, body: &str) -> io::Result<()> {
+        let Some(path) = self.path_for(key) else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        let Some(dir) = &self.dir else { return 0 };
+        fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("droplet-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_survives_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let key = "00000000deadbeef-00000000c0ffee00";
+        {
+            let store = ResultStore::open(Some(dir.clone())).unwrap();
+            assert!(store.get(key).is_none());
+            store.put(key, "{\"digest\": \"abc\"}").unwrap();
+            assert_eq!(store.get(key).unwrap(), "{\"digest\": \"abc\"}");
+            assert_eq!(store.len(), 1);
+        }
+        let reopened = ResultStore::open(Some(dir.clone())).unwrap();
+        assert_eq!(reopened.get(key).unwrap(), "{\"digest\": \"abc\"}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_non_canonical_keys() {
+        assert!(valid_key("0123456789abcdef-fedcba9876543210"));
+        assert!(!valid_key("../../etc/passwd"));
+        assert!(!valid_key("0123456789abcdef_fedcba9876543210"));
+        assert!(!valid_key("0123456789abcdef-fedcba987654321"));
+        let store = ResultStore::open(Some(tmp_dir("keys"))).unwrap();
+        store.put("../escape", "x").unwrap();
+        assert!(store.get("../escape").is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn disabled_store_accepts_and_returns_nothing() {
+        let store = ResultStore::open(None).unwrap();
+        let key = "0123456789abcdef-fedcba9876543210";
+        store.put(key, "body").unwrap();
+        assert!(store.get(key).is_none());
+        assert_eq!(store.len(), 0);
+    }
+}
